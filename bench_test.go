@@ -1,0 +1,150 @@
+package sam_test
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"sam/internal/experiments"
+)
+
+// benchScale sits between the test suite's micro scale and sambench's
+// quick scale: big enough that the comparisons keep their shape, small
+// enough that `go test -bench=.` finishes in minutes on one core. The
+// paper-scale reproduction is cmd/sambench (-scale quick|full).
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.CensusRows = 2500
+	s.DMVRows = 1500
+	s.IMDBTitles = 500
+	s.CensusTrainQ = 300
+	s.DMVTrainQ = 200
+	s.IMDBTrainQ = 400
+	s.TestQ = 100
+	s.JOBLightQ = 30
+	s.TinyCensusQ = 12
+	s.TinyDMVQ = 7
+	s.SmallIMDBQ = 40
+	s.EvalInputQ = 100
+	s.Epochs = 6
+	s.Hidden = 24
+	s.IMDBSamples = 10000
+	s.Fig5SAMPoints = []int{50, 100, 200, 300}
+	s.Fig5PGMPoints = []int{2, 4, 8}
+	s.Fig6Samples = []int{2500, 5000, 10000}
+	s.Fig7Fracs = []float64{0.33, 0.66, 1.0}
+	s.Fig8Cov = []float64{0.5, 1.0}
+	s.LatencyReps = 3
+	return s
+}
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+)
+
+// sharedCtx builds one context for all benchmarks so trained models and
+// generated databases are reused: the first benchmark touching a dataset
+// pays its training cost, subsequent iterations measure evaluation.
+func sharedCtx() *experiments.Context {
+	benchOnce.Do(func() {
+		benchCtx = experiments.NewContext(benchScale(), nil)
+	})
+	return benchCtx
+}
+
+// runExperiment drives one experiment and reports its headline number as a
+// benchmark metric, logging the full reproduced table once.
+func runExperiment(b *testing.B, fn func(*experiments.Context) *experiments.Report, metricCol int, metricName string) {
+	b.Helper()
+	ctx := sharedCtx()
+	var rep *experiments.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = fn(ctx)
+	}
+	b.StopTimer()
+	if len(rep.Rows) > 0 && metricCol >= 0 && metricCol < len(rep.Rows[len(rep.Rows)-1]) {
+		if v, err := strconv.ParseFloat(rep.Rows[len(rep.Rows)-1][metricCol], 64); err == nil {
+			b.ReportMetric(v, metricName)
+		}
+	}
+	b.Logf("\n%s", rep.String())
+}
+
+// BenchmarkTable1InputQErrorFullScale — Table 1: Q-Error of input queries
+// at full workload scale on Census and DMV (SAM only).
+func BenchmarkTable1InputQErrorFullScale(b *testing.B) {
+	runExperiment(b, experiments.Table1, 2, "medianQErr")
+}
+
+// BenchmarkTable2InputQErrorTiny — Table 2: Q-Error on the tiny workloads
+// PGM can process, PGM vs SAM.
+func BenchmarkTable2InputQErrorTiny(b *testing.B) {
+	runExperiment(b, experiments.Table2, 3, "medianQErr")
+}
+
+// BenchmarkTable3IMDBInputQError — Table 3: IMDB input-query Q-Error, SAM
+// vs SAM w/o Group-and-Merge.
+func BenchmarkTable3IMDBInputQError(b *testing.B) {
+	runExperiment(b, experiments.Table3, 1, "medianQErr")
+}
+
+// BenchmarkTable4IMDBSmallWorkload — Table 4: the small IMDB workload all
+// three methods can process.
+func BenchmarkTable4IMDBSmallWorkload(b *testing.B) {
+	runExperiment(b, experiments.Table4, 1, "medianQErr")
+}
+
+// BenchmarkTable5TestQError — Table 5: unseen test queries on Census and
+// DMV (database recovery).
+func BenchmarkTable5TestQError(b *testing.B) {
+	runExperiment(b, experiments.Table5, 2, "medianQErr")
+}
+
+// BenchmarkTable6JOBLight — Table 6: JOB-light joins on IMDB.
+func BenchmarkTable6JOBLight(b *testing.B) {
+	runExperiment(b, experiments.Table6, 1, "medianQErr")
+}
+
+// BenchmarkTable7CrossEntropy — Table 7: cross entropy of generated
+// relations.
+func BenchmarkTable7CrossEntropy(b *testing.B) {
+	runExperiment(b, experiments.Table7, 1, "censusBits")
+}
+
+// BenchmarkTable8PerfDeviation — Table 8: performance deviation of test
+// queries on Census and DMV.
+func BenchmarkTable8PerfDeviation(b *testing.B) {
+	runExperiment(b, experiments.Table8, 2, "medianDevMs")
+}
+
+// BenchmarkTable9IMDBPerfDeviation — Table 9: performance deviation of the
+// JOB-light workload on IMDB.
+func BenchmarkTable9IMDBPerfDeviation(b *testing.B) {
+	runExperiment(b, experiments.Table9, 1, "medianDevMs")
+}
+
+// BenchmarkFigure5ProcessingTime — Figure 5: workload processing time
+// scaling, SAM (linear) vs PGM (polynomial).
+func BenchmarkFigure5ProcessingTime(b *testing.B) {
+	runExperiment(b, experiments.Figure5, 3, "lastPointSec")
+}
+
+// BenchmarkFigure6GenerationSweep — Figure 6: generation time and Q-Error
+// against the FOJ sample budget on IMDB.
+func BenchmarkFigure6GenerationSweep(b *testing.B) {
+	runExperiment(b, experiments.Figure6, 1, "genSec")
+}
+
+// BenchmarkFigure7WorkloadSize — Figure 7: recovery vs workload size on
+// Census.
+func BenchmarkFigure7WorkloadSize(b *testing.B) {
+	runExperiment(b, experiments.Figure7, 1, "crossEntropyBits")
+}
+
+// BenchmarkFigure8Coverage — Figure 8: recovery vs workload coverage
+// ratio on Census.
+func BenchmarkFigure8Coverage(b *testing.B) {
+	runExperiment(b, experiments.Figure8, 1, "crossEntropyBits")
+}

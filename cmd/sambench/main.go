@@ -1,0 +1,91 @@
+// Command sambench reproduces the SAM paper's evaluation tables and
+// figures on the synthetic datasets (see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	sambench [-scale quick|full] [-exp all|tab1..tab9|fig5..fig8] [-seed N] [-v]
+//
+// Experiments share trained models and generated databases within one
+// invocation, so running -exp all is much cheaper than running each
+// experiment separately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"sam/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (tab1..tab9, fig5..fig8) or all")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		log.Fatalf("unknown -scale %q (want quick or full)", *scaleFlag)
+	}
+	scale.Seed = *seed
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), fmt.Sprintf(format, args...))
+		}
+	}
+	ctx := experiments.NewContext(scale, logf)
+
+	runners := experiments.Runners()
+	wanted := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+		for id := range wanted {
+			found := false
+			for _, r := range runners {
+				if r.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				log.Fatalf("unknown experiment %q; known: %s", id, idList(runners))
+			}
+		}
+	}
+
+	start := time.Now()
+	for _, r := range runners {
+		if *expFlag != "all" && !wanted[r.ID] {
+			continue
+		}
+		rep := r.Fn(ctx)
+		fmt.Println(rep.String())
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func idList(rs []experiments.Runner) string {
+	ids := make([]string, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return strings.Join(ids, ", ")
+}

@@ -1,0 +1,177 @@
+// Command samgen is the full SAM pipeline as a tool: it trains an
+// autoregressive model from a labeled query workload plus schema metadata
+// (never touching the underlying data) and writes a generated database as
+// one CSV file per table.
+//
+// Usage:
+//
+//	samgen -workload workload.json -schema schema.json -outdir gen/ \
+//	       [-population N] [-epochs N] [-hidden N] [-samples N] [-seed N] [-no-gam]
+//
+// -population is required for multi-relation schemas (the full outer join
+// size, printed by workloadgen).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sam/internal/ar"
+	"sam/internal/core"
+	"sam/internal/join"
+	"sam/internal/nn"
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	wlPath := flag.String("workload", "workload.json", "labeled workload (JSON)")
+	schemaPath := flag.String("schema", "schema.json", "schema metadata (JSON)")
+	outDir := flag.String("outdir", "generated", "output directory for CSVs")
+	population := flag.Float64("population", 0, "full outer join size (multi-relation only; single-relation defaults to |T|)")
+	epochs := flag.Int("epochs", 6, "training epochs")
+	hidden := flag.Int("hidden", 64, "hidden width of the MADE backbone")
+	samples := flag.Int("samples", 0, "FOJ samples for generation (0 = auto)")
+	seed := flag.Int64("seed", 1, "random seed")
+	noGam := flag.Bool("no-gam", false, "disable Group-and-Merge (ablation)")
+	arch := flag.String("arch", "made", "autoregressive backbone: made or transformer")
+	savePath := flag.String("save", "", "save the trained model to this path")
+	loadPath := flag.String("load", "", "skip training and load a model saved with -save")
+	flag.Parse()
+
+	if *loadPath != "" {
+		mf, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := ar.Load(mf)
+		mf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded model (%d parameters)", nn.NumParams(model.Net))
+		// Target sizes come from the schema metadata file (the model file
+		// stores the schema shape, not the row counts).
+		sf, err := os.Open(*schemaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sspec, err := relation.ReadSpec(sf)
+		sf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		generateAndWrite(model, sspec.Sizes(), *outDir, *samples, *seed, !*noGam)
+		return
+	}
+
+	sf, err := os.Open(*schemaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := relation.ReadSpec(sf)
+	sf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	shell, err := spec.EmptySchema()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := spec.Sizes()
+
+	wf, err := os.Open(*wlPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := workload.Read(wf)
+	wf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range wl.Queries {
+		if err := wl.Queries[i].Validate(shell); err != nil {
+			log.Fatalf("workload query %d: %v", i, err)
+		}
+	}
+
+	pop := *population
+	if pop <= 0 {
+		if !shell.SingleTable() {
+			log.Fatal("multi-relation schema requires -population (the full outer join size)")
+		}
+		pop = float64(sizes[shell.Tables[0].Name])
+	}
+
+	layout := join.NewLayout(shell)
+	cfg := ar.DefaultTrainConfig()
+	cfg.Epochs = *epochs
+	cfg.Model.Hidden = *hidden
+	cfg.Model.Arch = *arch
+	cfg.Seed = *seed
+	cfg.Logf = log.Printf
+	log.Printf("training SAM on %d cardinality constraints (%d model columns)...", wl.Len(), layout.NumCols())
+	start := time.Now()
+	model, err := ar.Train(layout, wl, pop, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained in %v (%d parameters)", time.Since(start).Round(time.Millisecond), nn.NumParams(model.Net))
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved model to %s", *savePath)
+	}
+
+	generateAndWrite(model, sizes, *outDir, *samples, *seed, !*noGam)
+}
+
+// generateAndWrite runs the generation phase and writes one CSV per table.
+func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samples int, seed int64, gam bool) {
+	gen, err := core.FromModel(model, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.DefaultGenOptions(seed + 1)
+	opts.Samples = samples
+	opts.GroupAndMerge = gam
+	start := time.Now()
+	db, err := gen.Generate(func() join.TupleSampler { return model.NewSampler() }, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("generated database in %v", time.Since(start).Round(time.Millisecond))
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range db.Tables {
+		path := filepath.Join(outDir, t.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d rows)", path, t.NumRows())
+	}
+}

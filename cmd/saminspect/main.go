@@ -1,0 +1,168 @@
+// Command saminspect inspects SAM artifacts: it describes a labeled
+// workload (shape, operators, coverage) and, when given a saved model,
+// prints its layout, discretizer sizes, and per-column marginals sampled
+// from the model — the quickest way to see what a trained model believes
+// before generating a database from it.
+//
+// Usage:
+//
+//	saminspect -workload wl.json -schema schema.json [-model model.json] [-marginals N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+
+	"sam/internal/ar"
+	"sam/internal/nn"
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	wlPath := flag.String("workload", "", "labeled workload (JSON)")
+	schemaPath := flag.String("schema", "", "schema metadata (JSON)")
+	modelPath := flag.String("model", "", "model saved by samgen -save")
+	marginals := flag.Int("marginals", 2000, "samples used to estimate model marginals")
+	flag.Parse()
+
+	var spec relation.SchemaSpec
+	if *schemaPath != "" {
+		f, err := os.Open(*schemaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err = relation.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== schema ==")
+		for _, t := range spec.Tables {
+			fmt.Printf("  %-16s %8d rows, %d columns", t.Name, t.Rows, len(t.Columns))
+			if t.Parent != "" {
+				fmt.Printf(", FK → %s", t.Parent)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *wlPath != "" {
+		f, err := os.Open(*wlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wl, err := workload.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== workload ==")
+		fmt.Print(workload.ComputeStats(wl).String())
+		if *schemaPath != "" {
+			domains := map[string]int{}
+			for _, t := range spec.Tables {
+				for _, c := range t.Columns {
+					domains[t.Name+"."+c.Name] = c.Domain
+				}
+			}
+			ratios := workload.CoverageRatios(wl, domains)
+			keys := make([]string, 0, len(ratios))
+			for k := range ratios {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Println("coverage (literal span / domain):")
+			for _, k := range keys {
+				fmt.Printf("  %-28s %.2f\n", k, ratios[k])
+			}
+		}
+	}
+
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := ar.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== model ==")
+		fmt.Printf("  arch: %s, %d parameters, population %.0f\n",
+			archName(m.Cfg.Arch), nn.NumParams(m.Net), m.Population)
+		fmt.Printf("  %d model columns:\n", m.Layout.NumCols())
+		marg := sampleMarginals(m, *marginals)
+		for i, c := range m.Layout.Cols {
+			fmt.Printf("  %-28s %-9s %4d bins  top: %s\n",
+				c.Name(), c.Kind, m.Disc[i].Bins(), topBins(marg[i], 3))
+		}
+	}
+}
+
+func archName(a string) string {
+	if a == "" {
+		return "made"
+	}
+	return a
+}
+
+// sampleMarginals estimates per-column bin frequencies from n ancestral
+// samples.
+func sampleMarginals(m *ar.Model, n int) [][]float64 {
+	out := make([][]float64, m.Layout.NumCols())
+	for i := range out {
+		out[i] = make([]float64, m.Disc[i].Bins())
+	}
+	if n <= 0 {
+		return out
+	}
+	s := m.NewSampler()
+	rng := rand.New(rand.NewSource(1))
+	dst := make([]int32, m.Layout.NumCols())
+	for it := 0; it < n; it++ {
+		s.SampleFOJ(rng, dst)
+		for i, b := range dst {
+			out[i][b]++
+		}
+	}
+	for i := range out {
+		for b := range out[i] {
+			out[i][b] /= float64(n)
+		}
+	}
+	return out
+}
+
+// topBins renders the k most probable bins of a marginal.
+func topBins(marg []float64, k int) string {
+	type bp struct {
+		bin int
+		p   float64
+	}
+	bps := make([]bp, len(marg))
+	for b, p := range marg {
+		bps[b] = bp{b, p}
+	}
+	sort.Slice(bps, func(i, j int) bool { return bps[i].p > bps[j].p })
+	if k > len(bps) {
+		k = len(bps)
+	}
+	s := ""
+	for i := 0; i < k; i++ {
+		if bps[i].p == 0 {
+			break
+		}
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%.2f", bps[i].bin, bps[i].p)
+	}
+	return s
+}

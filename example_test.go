@@ -1,0 +1,74 @@
+package sam_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sam"
+)
+
+// Example demonstrates the minimal end-to-end flow on a tiny hand-built
+// relation: label a workload, train, generate, evaluate.
+func Example() {
+	// The hidden table: a single column whose distribution SAM must
+	// recover from query cardinalities alone.
+	rng := rand.New(rand.NewSource(1))
+	col := sam.NewColumn("v", sam.Categorical, 4)
+	for i := 0; i < 400; i++ {
+		col.Append(int32(rng.Intn(2))) // only values 0 and 1 occur
+	}
+	hidden, err := sam.NewSchema(sam.NewTable("t", col))
+	if err != nil {
+		panic(err)
+	}
+
+	queries := []sam.Query{
+		{Tables: []string{"t"}, Preds: []sam.Predicate{{Table: "t", Column: "v", Op: sam.LE, Code: 1}}},
+		{Tables: []string{"t"}, Preds: []sam.Predicate{{Table: "t", Column: "v", Op: sam.GE, Code: 2}}},
+		{Tables: []string{"t"}, Preds: []sam.Predicate{{Table: "t", Column: "v", Op: sam.EQ, Code: 0}}},
+		{Tables: []string{"t"}, Preds: []sam.Predicate{{Table: "t", Column: "v", Op: sam.EQ, Code: 1}}},
+	}
+	wl := &sam.Workload{Queries: sam.Label(hidden, queries)}
+
+	cfg := sam.DefaultTrainConfig()
+	cfg.Epochs = 120
+	cfg.LR = 0.05
+	cfg.Model.Hidden = 8
+	model, err := sam.Train(sam.NewLayout(hidden), wl, 400, cfg)
+	if err != nil {
+		panic(err)
+	}
+	db, err := sam.Generate(model, map[string]int{"t": 400}, sam.DefaultGenOptions(2))
+	if err != nil {
+		panic(err)
+	}
+
+	// Codes 2 and 3 never occur in the hidden data; the constraint
+	// Card(v ≥ 2) = 0 teaches the model that.
+	q := sam.Query{Tables: []string{"t"}, Preds: []sam.Predicate{{Table: "t", Column: "v", Op: sam.GE, Code: 2}}}
+	fmt.Println("rows:", db.Tables[0].NumRows())
+	fmt.Println("card(v>=2) small:", sam.Card(db, &q) < 20)
+	// Output:
+	// rows: 400
+	// card(v>=2) small: true
+}
+
+// ExampleQError shows the fidelity metric used throughout the paper.
+func ExampleQError() {
+	fmt.Println(sam.QError(200, 100))
+	fmt.Println(sam.QError(100, 200))
+	fmt.Println(sam.QError(0, 0)) // both floored at 1
+	// Output:
+	// 2
+	// 2
+	// 1
+}
+
+// ExampleSummarize shows the percentile aggregation the paper's tables
+// report.
+func ExampleSummarize() {
+	s := sam.Summarize([]float64{1, 1, 2, 4, 10})
+	fmt.Printf("median=%.0f mean=%.1f max=%.0f\n", s.Median, s.Mean, s.Max)
+	// Output:
+	// median=2 mean=3.6 max=10
+}

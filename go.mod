@@ -1,0 +1,3 @@
+module sam
+
+go 1.22

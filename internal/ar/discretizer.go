@@ -1,0 +1,184 @@
+// Package ar implements SAM's query-driven autoregressive model: the
+// intervalization of column domains from workload constants (§4.3.2,
+// "Handling numerical columns"), the compilation of conjunctive queries
+// into per-column bin masks, Differentiable-Progressive-Sampling training
+// from (query, cardinality) pairs (§4.1), progressive-sampling cardinality
+// estimation, and ancestral full-outer-join tuple sampling for generation.
+package ar
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sam/internal/workload"
+)
+
+// Discretizer maps a column's raw codes onto model bins. Bin b covers raw
+// codes [cuts[b], cuts[b+1]). Identity discretizers have one code per bin;
+// interval discretizers cut the domain at workload constants, shrinking
+// large numeric domains to a handful of intervals.
+type Discretizer struct {
+	cuts []int32 // ascending, cuts[0] == 0, cuts[len-1] == domain
+}
+
+// NewIdentity returns a discretizer with one bin per code.
+func NewIdentity(domain int) *Discretizer {
+	cuts := make([]int32, domain+1)
+	for i := range cuts {
+		cuts[i] = int32(i)
+	}
+	return &Discretizer{cuts: cuts}
+}
+
+// NewInterval builds an interval discretizer over [0, domain) from the
+// distinct predicate constants observed in the workload. For every literal
+// v both v and v+1 become cut points, so LE/GE/EQ predicates on observed
+// constants align exactly with bin boundaries.
+func NewInterval(domain int, constants []int32) *Discretizer {
+	set := map[int32]bool{0: true, int32(domain): true}
+	for _, v := range constants {
+		if v < 0 || int(v) >= domain {
+			panic(fmt.Sprintf("ar: constant %d outside domain %d", v, domain))
+		}
+		set[v] = true
+		set[v+1] = true
+	}
+	cuts := make([]int32, 0, len(set))
+	for v := range set {
+		cuts = append(cuts, v)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	return &Discretizer{cuts: cuts}
+}
+
+// Cuts returns a copy of the bin boundaries (for serialization).
+func (d *Discretizer) Cuts() []int32 { return append([]int32(nil), d.cuts...) }
+
+// FromCuts rebuilds a discretizer from serialized boundaries.
+func FromCuts(cuts []int32) (*Discretizer, error) {
+	if len(cuts) < 2 || cuts[0] != 0 {
+		return nil, fmt.Errorf("ar: invalid cuts %v", cuts)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return nil, fmt.Errorf("ar: cuts not strictly ascending at %d", i)
+		}
+	}
+	return &Discretizer{cuts: append([]int32(nil), cuts...)}, nil
+}
+
+// Bins returns the number of bins.
+func (d *Discretizer) Bins() int { return len(d.cuts) - 1 }
+
+// BinOf returns the bin containing a raw code.
+func (d *Discretizer) BinOf(code int32) int {
+	// Find the rightmost cut ≤ code.
+	lo, hi := 0, len(d.cuts)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if d.cuts[mid] <= code {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// BinRange returns the raw-code range [lo, hi) of bin b.
+func (d *Discretizer) BinRange(b int) (lo, hi int32) {
+	return d.cuts[b], d.cuts[b+1]
+}
+
+// BinWidth returns the number of raw codes in bin b.
+func (d *Discretizer) BinWidth(b int) int {
+	return int(d.cuts[b+1] - d.cuts[b])
+}
+
+// SampleIn draws a uniform raw code inside bin b — the paper's decoding of
+// intervalized numeric columns after Group-and-Merge.
+func (d *Discretizer) SampleIn(rng *rand.Rand, b int) int32 {
+	lo, hi := d.BinRange(b)
+	if hi-lo == 1 {
+		return lo
+	}
+	return lo + int32(rng.Intn(int(hi-lo)))
+}
+
+// MaskForPredicates returns the fractional bin-coverage mask of a
+// conjunction of predicates over this column, and whether any bin has
+// positive mass. Shared by the SAM model and the PGM baseline.
+func (d *Discretizer) MaskForPredicates(preds []workload.Predicate, domain int) ([]float64, bool) {
+	mask := make([]float64, d.Bins())
+	ok := d.maskInto(mask, preds, domain)
+	return mask, ok
+}
+
+// maskInto fills mask (length Bins()) with the fraction of each bin's codes
+// that satisfy the conjunction of predicates. Range predicates intersect
+// into [rlo, rhi]; an optional IN list restricts further. The result is
+// the fractional coverage RangeProb and STGumbel consume. It reports
+// whether any bin has positive mass.
+func (d *Discretizer) maskInto(mask []float64, preds []workload.Predicate, domain int) bool {
+	rlo, rhi := int32(0), int32(domain-1)
+	var inList []int32
+	for i := range preds {
+		p := &preds[i]
+		if lo, hi, ok := p.Range(domain); ok {
+			if lo > rlo {
+				rlo = lo
+			}
+			if hi < rhi {
+				rhi = hi
+			}
+			continue
+		}
+		// IN: intersect lists.
+		if inList == nil {
+			inList = append(inList, p.Codes...)
+			continue
+		}
+		var merged []int32
+		for _, c := range inList {
+			if p.Matches(c) {
+				merged = append(merged, c)
+			}
+		}
+		inList = merged
+	}
+	any := false
+	if inList != nil {
+		for i := range mask {
+			mask[i] = 0
+		}
+		seen := map[int32]bool{}
+		for _, c := range inList {
+			if c < rlo || c > rhi || seen[c] {
+				continue
+			}
+			seen[c] = true
+			b := d.BinOf(c)
+			mask[b] += 1 / float64(d.BinWidth(b))
+			any = true
+		}
+		return any
+	}
+	for b := range mask {
+		blo, bhi := d.BinRange(b) // [blo, bhi)
+		lo, hi := rlo, rhi+1      // [lo, hi)
+		if lo < blo {
+			lo = blo
+		}
+		if hi > bhi {
+			hi = bhi
+		}
+		if hi > lo {
+			mask[b] = float64(hi-lo) / float64(bhi-blo)
+			any = true
+		} else {
+			mask[b] = 0
+		}
+	}
+	return any
+}

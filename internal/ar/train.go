@@ -1,0 +1,309 @@
+package ar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"sam/internal/join"
+	"sam/internal/nn"
+	"sam/internal/tensor"
+	"sam/internal/workload"
+)
+
+// TrainConfig controls Differentiable Progressive Sampling training.
+type TrainConfig struct {
+	Model Config
+
+	Epochs             int
+	BatchSize          int
+	LR                 float64
+	Tau                float64 // Gumbel-Softmax temperature
+	ClipNorm           float64 // gradient clipping by global norm; 0 = off
+	ProgressiveSamples int     // Monte-Carlo chains per query per step
+	Workers            int     // goroutines per batch; 0 = GOMAXPROCS
+	Seed               int64
+
+	// Logf, when non-nil, receives one progress line per epoch.
+	Logf func(format string, args ...any)
+}
+
+// DefaultTrainConfig returns CPU-scale defaults.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Model:              DefaultConfig(),
+		Epochs:             8,
+		BatchSize:          64,
+		LR:                 5e-3,
+		Tau:                1.0,
+		ClipNorm:           5,
+		ProgressiveSamples: 1,
+		Seed:               1,
+	}
+}
+
+// Train fits a SAM model to the workload's cardinality constraints. The
+// loss is the mean squared log-ratio between predicted and true
+// cardinalities (minimizing log Q-Error), with gradients flowing through
+// the progressive sampler via straight-through Gumbel-Softmax. Queries that
+// are unsatisfiable in bin space are dropped with a log line.
+func Train(layout *join.Layout, wl *workload.Workload, population float64, cfg TrainConfig) (*Model, error) {
+	if wl.Len() == 0 {
+		return nil, fmt.Errorf("ar: empty workload")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("ar: epochs and batch size must be positive")
+	}
+	if cfg.Tau <= 0 {
+		cfg.Tau = 1.0
+	}
+	if cfg.ProgressiveSamples <= 0 {
+		cfg.ProgressiveSamples = 1
+	}
+	m := NewModel(layout, wl.Queries, population, cfg.Model)
+
+	// Precompile the workload.
+	specs := make([]*Spec, 0, wl.Len())
+	targets := make([]float64, 0, wl.Len())
+	dropped := 0
+	for qi := range wl.Queries {
+		cq := &wl.Queries[qi]
+		spec, err := m.Compile(&cq.Query)
+		if err != nil {
+			dropped++
+			continue
+		}
+		card := float64(cq.Card)
+		if card < 1 {
+			card = 1
+		}
+		specs = append(specs, spec)
+		targets = append(targets, math.Log(card/population))
+	}
+	if dropped > 0 && cfg.Logf != nil {
+		cfg.Logf("ar: dropped %d unsatisfiable queries", dropped)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("ar: no trainable queries after compilation")
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.ClipMax = cfg.ClipNorm
+	params := m.Net.Params()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var steps int
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			loss := trainStep(m, specs, targets, batch, workers, cfg, opt, params, rng.Int63())
+			epochLoss += loss
+			steps++
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("ar: epoch %d/%d mean batch loss %.4f", epoch+1, cfg.Epochs, epochLoss/float64(steps))
+		}
+	}
+	return m, nil
+}
+
+// trainStep runs one optimizer step over the batch, fanning the rows out to
+// worker goroutines, each with its own tape, then merging gradients.
+func trainStep(m *Model, specs []*Spec, targets []float64, batch []int, workers int,
+	cfg TrainConfig, opt *nn.Adam, params []*tensor.Tensor, seed int64) float64 {
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	chunk := (len(batch) + workers - 1) / workers
+	grads := make([][]*tensor.Tensor, workers)
+	losses := make([]float64, workers)
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed + int64(w)))
+			g, loss := forwardChunk(m, specs, targets, batch[lo:hi], cfg, wrng)
+			gs := make([]*tensor.Tensor, len(params))
+			for pi, p := range params {
+				gs[pi] = g.ParamGrad(p)
+			}
+			grads[w] = gs
+			losses[w] = loss
+			counts[w] = hi - lo
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge: weighted sum of per-worker mean gradients.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	pairs := make([]nn.GradPair, len(params))
+	var lossSum float64
+	for pi, p := range params {
+		merged := tensor.New(p.Rows, p.Cols)
+		for w := range grads {
+			if grads[w] == nil || grads[w][pi] == nil {
+				continue
+			}
+			scale := float64(counts[w]) / float64(total)
+			for i, gv := range grads[w][pi].Data {
+				merged.Data[i] += gv * scale
+			}
+		}
+		pairs[pi] = nn.GradPair{Param: p, Grad: merged}
+	}
+	for w := range losses {
+		lossSum += losses[w] * float64(counts[w])
+	}
+	opt.Step(pairs)
+	return lossSum / float64(total)
+}
+
+// forwardChunk builds the DPS graph for a set of queries (rows) and runs
+// backward; it returns the tape and the chunk's mean loss.
+func forwardChunk(m *Model, specs []*Spec, targets []float64, rows []int,
+	cfg TrainConfig, rng *rand.Rand) (*tensor.Graph, float64) {
+	n := len(rows)
+	ncols := m.Layout.NumCols()
+	g := tensor.NewGraph()
+
+	// Per-column mask tensors shared by all progressive samples.
+	masks := make([]*tensor.Tensor, ncols)
+	anyDown := make([]bool, ncols)
+	deltas := make([]*tensor.Tensor, ncols)
+	for i := 0; i < ncols; i++ {
+		bins := m.Disc[i].Bins()
+		mk := tensor.New(n, bins)
+		for r, qi := range rows {
+			spec := specs[qi]
+			if spec.Masks[i] == nil {
+				for b := 0; b < bins; b++ {
+					mk.Set(r, b, 1)
+				}
+			} else {
+				copy(mk.Row(r), spec.Masks[i])
+			}
+			if spec.Downweight[i] {
+				anyDown[i] = true
+			}
+		}
+		masks[i] = mk
+		if anyDown[i] {
+			d := tensor.New(n, 1)
+			for r, qi := range rows {
+				if specs[qi].Downweight[i] {
+					d.Set(r, 0, 1)
+				}
+			}
+			deltas[i] = d
+		}
+	}
+
+	// Wildcard skipping: conditionals beyond the last constrained or
+	// downweighted column contribute probability 1 and no weight factor,
+	// so the progressive chain can stop early (a large saving for
+	// single-relation workloads with few filters).
+	lastNeeded := 0
+	for _, qi := range rows {
+		spec := specs[qi]
+		for i := ncols - 1; i > lastNeeded; i-- {
+			if spec.Masks[i] != nil || spec.Downweight[i] {
+				if i > lastNeeded {
+					lastNeeded = i
+				}
+				break
+			}
+		}
+	}
+
+	var selAccum *tensor.Node
+	for s := 0; s < cfg.ProgressiveSamples; s++ {
+		sel := progressiveChain(m, g, masks, anyDown, deltas, n, lastNeeded, cfg.Tau, rng)
+		if selAccum == nil {
+			selAccum = sel
+		} else {
+			selAccum = g.Add(selAccum, sel)
+		}
+	}
+	if cfg.ProgressiveSamples > 1 {
+		selAccum = g.Scale(selAccum, 1/float64(cfg.ProgressiveSamples))
+	}
+
+	target := tensor.New(n, 1)
+	for r, qi := range rows {
+		target.Set(r, 0, targets[qi])
+	}
+	diff := g.Sub(g.Log(selAccum), g.Const(target))
+	loss := g.Mean(g.Square(diff))
+	g.Backward(loss)
+	return g, loss.Val.Data[0]
+}
+
+// progressiveChain runs one differentiable progressive-sampling pass up to
+// column lastNeeded (inclusive) and returns the per-row selectivity
+// estimate (n×1 node).
+func progressiveChain(m *Model, g *tensor.Graph, masks []*tensor.Tensor, anyDown []bool,
+	deltas []*tensor.Tensor, n, lastNeeded int, tau float64, rng *rand.Rand) *tensor.Node {
+	ncols := m.Layout.NumCols()
+	parts := make([]*tensor.Node, ncols)
+	for i := 0; i < ncols; i++ {
+		parts[i] = g.Const(tensor.New(n, m.Disc[i].Bins()))
+	}
+	var sel *tensor.Node
+	for i := 0; i <= lastNeeded && i < ncols; i++ {
+		x := g.ConcatCols(parts...)
+		out := m.Net.Forward(g, x)
+		logits := g.SliceCols(out, m.Net.Offsets()[i], m.Net.ColSizes()[i])
+		p := g.RangeProb(logits, masks[i])
+		if sel == nil {
+			sel = p
+		} else {
+			sel = g.MulElem(sel, p)
+		}
+		y := g.STGumbel(logits, masks[i], tau, rng)
+		parts[i] = y
+		if anyDown[i] {
+			val := g.Dot(y, m.Layout.Cols[i].WeightVals)
+			recip := g.Reciprocal(val)
+			oneMinus := tensor.New(n, 1)
+			for r := 0; r < n; r++ {
+				oneMinus.Set(r, 0, 1-deltas[i].At(r, 0))
+			}
+			factor := g.Add(g.MulElem(recip, g.Const(deltas[i])), g.Const(oneMinus))
+			sel = g.MulElem(sel, factor)
+		}
+	}
+	if sel == nil {
+		ones := tensor.New(n, 1)
+		ones.Fill(1)
+		sel = g.Const(ones)
+	}
+	return sel
+}

@@ -1,0 +1,591 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sam/internal/ar"
+	"sam/internal/datagen"
+	"sam/internal/engine"
+	"sam/internal/join"
+	"sam/internal/metrics"
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+// paperSchema is the Figure-3 style database: A(root) ← B, C.
+func paperSchema() *relation.Schema {
+	aCol := relation.NewColumn("a", relation.Categorical, 2)
+	for _, v := range []int32{0, 0, 1, 1} {
+		aCol.Append(v)
+	}
+	a := relation.NewTable("A", aCol)
+	bCol := relation.NewColumn("b", relation.Categorical, 3)
+	b := relation.NewTable("B", bCol)
+	b.Parent = "A"
+	for _, v := range []int32{0, 1, 2} {
+		bCol.Append(v)
+	}
+	b.FK = []int64{0, 1, 1}
+	cCol := relation.NewColumn("c", relation.Categorical, 2)
+	c := relation.NewTable("C", cCol)
+	c.Parent = "A"
+	for _, v := range []int32{0, 1, 0, 1} {
+		cCol.Append(v)
+	}
+	c.FK = []int64{0, 0, 1, 1}
+	return relation.MustSchema(a, b, c)
+}
+
+func identityDiscs(l *join.Layout) []*ar.Discretizer {
+	disc := make([]*ar.Discretizer, l.NumCols())
+	for i, c := range l.Cols {
+		disc[i] = ar.NewIdentity(c.Domain)
+	}
+	return disc
+}
+
+func sizesOf(s *relation.Schema) map[string]int {
+	out := map[string]int{}
+	for _, t := range s.Tables {
+		out[t.Name] = t.NumRows()
+	}
+	return out
+}
+
+func TestLargestRemainderCounts(t *testing.T) {
+	counts := largestRemainderCounts([]float64{1.4, 2.4, 0.2, 0, 1.0}, 5)
+	var sum int
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 5 {
+		t.Fatalf("counts %v sum %d", counts, sum)
+	}
+	if counts[3] != 0 {
+		t.Fatal("zero weight got rows")
+	}
+	if counts[1] < 2 {
+		t.Fatalf("floor violated: %v", counts)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	s := paperSchema()
+	l := join.NewLayout(s)
+	if _, err := NewGenerator(l, nil, sizesOf(s)); err == nil {
+		t.Fatal("accepted missing discretizers")
+	}
+	if _, err := NewGenerator(l, identityDiscs(l), map[string]int{"A": 4}); err == nil {
+		t.Fatal("accepted missing sizes")
+	}
+}
+
+// TestExactRecoveryFromEnumeratedFOJ reproduces the paper's worked example:
+// with the full set of FOJ tuples and exact weights, Group-and-Merge must
+// regenerate a database identical in distribution to the original.
+func TestExactRecoveryFromEnumeratedFOJ(t *testing.T) {
+	s := paperSchema()
+	l := join.NewLayout(s)
+	o := join.NewOracle(l)
+	flat := o.EnumerateFOJ()
+
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := gen.Materialize(flat, DefaultGenOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table sizes recovered exactly.
+	for _, tab := range s.Tables {
+		if got := out.Table(tab.Name).NumRows(); got != tab.NumRows() {
+			t.Fatalf("table %s: %d rows want %d", tab.Name, got, tab.NumRows())
+		}
+	}
+	// The full outer join is recovered exactly.
+	if got, want := engine.FOJSize(out), engine.FOJSize(s); got != want {
+		t.Fatalf("FOJ size %d want %d", got, want)
+	}
+	// Every conjunctive query over every table subset has identical
+	// cardinality on both databases.
+	queries := []workload.Query{
+		{Tables: []string{"A"}, Preds: []workload.Predicate{{Table: "A", Column: "a", Op: workload.EQ, Code: 0}}},
+		{Tables: []string{"B"}, Preds: []workload.Predicate{{Table: "B", Column: "b", Op: workload.GE, Code: 1}}},
+		{Tables: []string{"C"}, Preds: []workload.Predicate{{Table: "C", Column: "c", Op: workload.EQ, Code: 0}}},
+		{Tables: []string{"A", "B"}, Preds: []workload.Predicate{{Table: "A", Column: "a", Op: workload.EQ, Code: 0}}},
+		{Tables: []string{"A", "C"}, Preds: []workload.Predicate{{Table: "C", Column: "c", Op: workload.EQ, Code: 1}}},
+		{Tables: []string{"A", "B", "C"}, Preds: []workload.Predicate{
+			{Table: "A", Column: "a", Op: workload.EQ, Code: 0},
+			{Table: "B", Column: "b", Op: workload.LE, Code: 1},
+		}},
+		{Tables: []string{"A", "B", "C"}, Preds: []workload.Predicate{
+			{Table: "C", Column: "c", Op: workload.EQ, Code: 0},
+		}},
+	}
+	for i, q := range queries {
+		if got, want := engine.Card(out, &q), engine.Card(s, &q); got != want {
+			t.Fatalf("query %d: card %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestOracleSampledRecoveryIMDB(t *testing.T) {
+	// Sampling (not enumerating) from the oracle of a realistic star schema
+	// and regenerating must approximately preserve join cardinalities.
+	orig := datagen.IMDB(11, 300)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultGenOptions(5)
+	opts.Samples = 60000
+	out, err := gen.Generate(func() join.TupleSampler { return o }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf table sizes are exact; the root (pk side) is approximate.
+	for _, tab := range orig.Tables {
+		got := out.Table(tab.Name).NumRows()
+		want := tab.NumRows()
+		if tab.Name == "title" {
+			if math.Abs(float64(got-want)) > 0.15*float64(want) {
+				t.Fatalf("title rows %d want ≈%d", got, want)
+			}
+		} else if got != want {
+			t.Fatalf("table %s: %d rows want %d", tab.Name, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(21))
+	queries := workload.GenerateMultiRelation(rng, orig, 60, workload.DefaultMultiRelationOptions())
+	labeled := engine.Label(orig, queries)
+	var qerrs []float64
+	for i := range labeled {
+		got := engine.Card(out, &labeled[i].Query)
+		qerrs = append(qerrs, metrics.QError(float64(got), float64(labeled[i].Card)))
+	}
+	sum := metrics.Summarize(qerrs)
+	if sum.Median > 2.0 {
+		t.Fatalf("median Q-Error %.2f too high for oracle-sampled recovery (%v)", sum.Median, sum)
+	}
+}
+
+func TestGaMBeatsViewAssignmentOnMultiJoin(t *testing.T) {
+	// The paper's ablation: on queries joining 3 relations, Group-and-Merge
+	// must preserve cross-relation correlation better than view-based
+	// assignment.
+	orig := datagen.IMDB(13, 250)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultGenOptions(9)
+	opts.Samples = 50000
+	flat := gen.drawSamples(func() join.TupleSampler { return o }, opts.Samples, opts)
+
+	withGaM, err := gen.Materialize(flat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsNoGaM := opts
+	optsNoGaM.GroupAndMerge = false
+	withoutGaM, err := gen.Materialize(flat, optsNoGaM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3-way join queries with correlated predicates.
+	rng := rand.New(rand.NewSource(31))
+	var gamErrs, viewErrs []float64
+	for trial := 0; trial < 80; trial++ {
+		q := workload.Query{
+			Tables: []string{"title", "cast_info", "movie_keyword"},
+			Preds: []workload.Predicate{
+				{Table: "title", Column: "kind_id", Op: workload.LE, Code: int32(rng.Intn(7))},
+				{Table: "cast_info", Column: "role_id", Op: workload.LE, Code: int32(rng.Intn(11))},
+				{Table: "movie_keyword", Column: "keyword_id", Op: workload.LE, Code: int32(rng.Intn(500))},
+			},
+		}
+		truth := float64(engine.Card(orig, &q))
+		gamErrs = append(gamErrs, metrics.QError(float64(engine.Card(withGaM, &q)), truth))
+		viewErrs = append(viewErrs, metrics.QError(float64(engine.Card(withoutGaM, &q)), truth))
+	}
+	gamSum := metrics.Summarize(gamErrs)
+	viewSum := metrics.Summarize(viewErrs)
+	if gamSum.P90 > viewSum.P90*1.25 {
+		t.Fatalf("GaM p90 %.2f should not exceed view-based p90 %.2f", gamSum.P90, viewSum.P90)
+	}
+	if gamSum.Median > 2.5 {
+		t.Fatalf("GaM median %.2f too high", gamSum.Median)
+	}
+}
+
+func TestSingleTableGeneration(t *testing.T) {
+	// Algorithm 1: single relation, oracle sampler, k = |T|.
+	orig := datagen.Census(17, 3000)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultGenOptions(3)
+	opts.Samples = orig.Tables[0].NumRows()
+	out, err := gen.Generate(func() join.TupleSampler { return o }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tables[0].NumRows() != orig.Tables[0].NumRows() {
+		t.Fatalf("rows %d want %d", out.Tables[0].NumRows(), orig.Tables[0].NumRows())
+	}
+	// Marginal of each column should be close (chi-square-free check on a
+	// few coarse buckets).
+	for ci, col := range orig.Tables[0].Cols {
+		var origLow, genLow int
+		mid := int32(col.NumValues / 2)
+		for _, v := range col.Data {
+			if v < mid {
+				origLow++
+			}
+		}
+		for _, v := range out.Tables[0].Cols[ci].Data {
+			if v < mid {
+				genLow++
+			}
+		}
+		po := float64(origLow) / float64(len(col.Data))
+		pg := float64(genLow) / float64(len(out.Tables[0].Cols[ci].Data))
+		if math.Abs(po-pg) > 0.06 {
+			t.Fatalf("column %s: P(low) orig %.3f gen %.3f", col.Name, po, pg)
+		}
+	}
+}
+
+func TestSanitizeEnforcesIndicatorConsistency(t *testing.T) {
+	// A hand-built inconsistent sample (parent NULL, child present) must be
+	// projected onto a consistent one.
+	rng := rand.New(rand.NewSource(4))
+	mk := func(name string, rows int, parent string, parentRows int) *relation.Table {
+		col := relation.NewColumn("v", relation.Categorical, 3)
+		tt := relation.NewTable(name, col)
+		tt.Parent = parent
+		for i := 0; i < rows; i++ {
+			col.Append(int32(rng.Intn(3)))
+			if parent != "" {
+				tt.FK = append(tt.FK, int64(rng.Intn(parentRows)))
+			}
+		}
+		return tt
+	}
+	root := mk("root", 4, "", 0)
+	b := mk("b", 6, "root", 4)
+	d := mk("d", 8, "b", 6)
+	s := relation.MustSchema(root, b, d)
+	l := join.NewLayout(s)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]int32, l.NumCols())
+	fb, _ := l.FanoutIndex("b")
+	fd, _ := l.FanoutIndex("d")
+	row[fb] = 0 // b absent
+	row[fd] = 3 // d claims presence under an absent parent
+	row[l.ContentIndex("d", "v")] = 2
+	gen.sanitize(row)
+	if row[fd] != 0 {
+		t.Fatal("child fanout not cleared when parent is NULL")
+	}
+	if row[l.ContentIndex("d", "v")] != 0 {
+		t.Fatal("NULL content not cleared")
+	}
+}
+
+func TestMaterializeRejectsBadBuffer(t *testing.T) {
+	s := paperSchema()
+	l := join.NewLayout(s)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.Materialize([]int32{1, 2, 3}, DefaultGenOptions(1)); err == nil {
+		t.Fatal("accepted misaligned buffer")
+	}
+	if _, err := gen.Materialize(nil, DefaultGenOptions(1)); err == nil {
+		t.Fatal("accepted empty buffer")
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	orig := datagen.IMDB(15, 100)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultGenOptions(77)
+	opts.Samples = 5000
+	opts.Workers = 2
+	a, err := gen.Generate(func() join.TupleSampler { return o }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.Generate(func() join.TupleSampler { return o }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range a.Tables {
+		other := b.Table(tab.Name)
+		if tab.NumRows() != other.NumRows() {
+			t.Fatalf("table %s row mismatch across identical runs", tab.Name)
+		}
+		for ci := range tab.Cols {
+			for i := range tab.Cols[ci].Data {
+				if tab.Cols[ci].Data[i] != other.Cols[ci].Data[i] {
+					t.Fatalf("table %s col %d row %d differs", tab.Name, ci, i)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickLargestRemainderProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		// Mirror real usage: weights are pre-scaled so they sum to the
+		// integer target (floorSum ≤ total ≤ ceilSum always holds).
+		weights := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			weights[i] = float64(r) / 16
+			sum += weights[i]
+		}
+		if sum < 1 {
+			return true
+		}
+		total := int(math.Round(sum))
+		factor := float64(total) / sum
+		for i := range weights {
+			weights[i] *= factor
+		}
+		counts := largestRemainderCounts(weights, total)
+		got := 0
+		for i, c := range counts {
+			if c < 0 {
+				return false
+			}
+			if weights[i] == 0 && c != 0 {
+				return false
+			}
+			if float64(c) < math.Floor(weights[i])-1e-9 {
+				return false // never undercut the floor
+			}
+			if float64(c) > math.Ceil(weights[i])+1e-9 {
+				return false // never exceed the ceiling
+			}
+			got += c
+		}
+		return got == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedSchemasAlwaysValidate(t *testing.T) {
+	// Property-style: many random small schemas and sample budgets, both
+	// key-assignment paths, always yield structurally valid databases with
+	// exact leaf sizes.
+	for seed := int64(0); seed < 6; seed++ {
+		orig := datagen.IMDB(40+seed, 60+int(seed)*30)
+		l := join.NewLayout(orig)
+		o := join.NewOracle(l)
+		gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gam := range []bool{true, false} {
+			opts := DefaultGenOptions(seed)
+			opts.Samples = 2000 + int(seed)*500
+			opts.GroupAndMerge = gam
+			out, err := gen.Generate(func() join.TupleSampler { return o }, opts)
+			if err != nil {
+				t.Fatalf("seed %d gam %v: %v", seed, gam, err)
+			}
+			if err := out.Validate(); err != nil {
+				t.Fatalf("seed %d gam %v: %v", seed, gam, err)
+			}
+			for _, tab := range out.Tables {
+				if tab.Parent == "" {
+					continue
+				}
+				parent := out.Table(tab.Parent)
+				pkSet := map[int64]bool{}
+				for i := 0; i < parent.NumRows(); i++ {
+					pkSet[parent.PK(i)] = true
+				}
+				for _, fk := range tab.FK {
+					if !pkSet[fk] {
+						t.Fatalf("seed %d gam %v: dangling FK %d in %s", seed, gam, fk, tab.Name)
+					}
+				}
+				if tab.NumRows() != sizesOf(orig)[tab.Name] {
+					t.Fatalf("seed %d gam %v: leaf %s has %d rows want %d",
+						seed, gam, tab.Name, tab.NumRows(), sizesOf(orig)[tab.Name])
+				}
+			}
+		}
+	}
+}
+
+func TestGaMKeyCountMatchesTargetExactly(t *testing.T) {
+	// After the global largest-remainder allocation, primary-key tables
+	// must have exactly |T| rows even under heavy sample splintering.
+	orig := datagen.IMDB(77, 400)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1500, 8000, 40000} {
+		opts := DefaultGenOptions(3)
+		opts.Samples = k
+		out, err := gen.Generate(func() join.TupleSampler { return o }, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Table("title").NumRows(); got != 400 {
+			t.Fatalf("k=%d: %d titles want 400", k, got)
+		}
+	}
+}
+
+func TestDeepTreeRecoveryTPCH(t *testing.T) {
+	// customer ← orders ← lineitem: Group-and-Merge must assign keys
+	// recursively down a two-level chain and preserve 3-way join
+	// cardinalities from oracle samples.
+	orig := datagen.TPCH(3, 400)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultGenOptions(7)
+	opts.Samples = 60000
+	out, err := gen.Generate(func() join.TupleSampler { return o }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-chain FKs must reference existing customer keys; leaf FKs must
+	// reference existing order keys.
+	custKeys := map[int64]bool{}
+	cust := out.Table("customer")
+	for i := 0; i < cust.NumRows(); i++ {
+		custKeys[cust.PK(i)] = true
+	}
+	ord := out.Table("orders")
+	ordKeys := map[int64]bool{}
+	for i := 0; i < ord.NumRows(); i++ {
+		ordKeys[ord.PK(i)] = true
+		if !custKeys[ord.FK[i]] {
+			t.Fatalf("orders row %d has dangling customer key", i)
+		}
+	}
+	li := out.Table("lineitem")
+	for i := 0; i < li.NumRows(); i++ {
+		if !ordKeys[li.FK[i]] {
+			t.Fatalf("lineitem row %d has dangling order key", i)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	var qerrs []float64
+	for trial := 0; trial < 60; trial++ {
+		q := workload.Query{
+			Tables: []string{"customer", "orders", "lineitem"},
+			Preds: []workload.Predicate{
+				{Table: "customer", Column: "mktsegment", Op: workload.LE, Code: int32(rng.Intn(5))},
+				{Table: "orders", Column: "orderpriority", Op: workload.LE, Code: int32(rng.Intn(5))},
+				{Table: "lineitem", Column: "quantity", Op: workload.GE, Code: int32(rng.Intn(50))},
+			},
+		}
+		truth := engine.Card(orig, &q)
+		if truth == 0 {
+			continue
+		}
+		got := engine.Card(out, &q)
+		qerrs = append(qerrs, metrics.QError(float64(got), float64(truth)))
+	}
+	sum := metrics.Summarize(qerrs)
+	if sum.Median > 2.0 {
+		t.Fatalf("deep-chain median Q-Error %.2f (%v)", sum.Median, sum)
+	}
+}
+
+func TestQuickSystematicCountsUnbiasedRegions(t *testing.T) {
+	// Systematic allocation must give a contiguous region of entries a
+	// total within 1 of its proportional share, no matter how finely the
+	// region is split — the property largest-remainder lacks.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		nA := 1 + rng.Intn(50)  // region A entries
+		nB := 1 + rng.Intn(500) // region B entries (possibly splintered)
+		wA := 1 + rng.Float64()*10
+		wB := 1 + rng.Float64()*10
+		weights := make([]float64, 0, nA+nB)
+		for i := 0; i < nA; i++ {
+			weights = append(weights, wA/float64(nA))
+		}
+		for i := 0; i < nB; i++ {
+			weights = append(weights, wB/float64(nB))
+		}
+		total := 10 + rng.Intn(200)
+		counts := systematicCounts(weights, total)
+		var gotA, gotTotal int
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatal("negative count")
+			}
+			if i < nA {
+				gotA += c
+			}
+			gotTotal += c
+		}
+		if gotTotal != total {
+			t.Fatalf("trial %d: total %d want %d", trial, gotTotal, total)
+		}
+		wantA := wA / (wA + wB) * float64(total)
+		if math.Abs(float64(gotA)-wantA) > 1.0+1e-9 {
+			t.Fatalf("trial %d: region A got %d want %.2f±1 (splintered into %d entries)",
+				trial, gotA, wantA, nA)
+		}
+	}
+}
+
+func TestSystematicCountsEdgeCases(t *testing.T) {
+	if c := systematicCounts(nil, 5); len(c) != 0 {
+		t.Fatal("nil weights")
+	}
+	if c := systematicCounts([]float64{0, 0}, 5); c[0] != 0 || c[1] != 0 {
+		t.Fatal("all-zero weights must allocate nothing")
+	}
+	if c := systematicCounts([]float64{1, 2, 3}, 0); c[0]+c[1]+c[2] != 0 {
+		t.Fatal("zero total must allocate nothing")
+	}
+	c := systematicCounts([]float64{0, 5, 0}, 7)
+	if c[0] != 0 || c[2] != 0 || c[1] != 7 {
+		t.Fatalf("single-entry allocation %v", c)
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"sam/internal/join"
+	"sam/internal/relation"
+)
+
+// keySpan records that a sample contributes the given fraction of its
+// primary-key weight to one assigned key. A sample whose scaled weight is
+// below 1 usually lands in a single span (it merges with neighbours into
+// one key); a sample whose scaled weight exceeds 1 represents several
+// primary-key tuples and is split across several keys.
+type keySpan struct {
+	key  int64
+	frac float64
+}
+
+// majorityKey returns the span carrying the largest fraction.
+func majorityKey(spans []keySpan) int64 {
+	best := spans[0]
+	for _, s := range spans[1:] {
+		if s.frac > best.frac {
+			best = s
+		}
+	}
+	return best.key
+}
+
+// groupBins maps a sample's identifier-column bins to the coarser codes
+// used for grouping: fanout bins collapse to log₂ buckets of their
+// representative value. A learned model spreads probability mass over far
+// more identifier combinations than the true data holds; grouping at full
+// fanout precision would splinter that mass into groups too light to ever
+// earn a key (Alg. 3's weight_sum ≥ 1 is then unreachable), silently
+// dropping exactly the heavy-fanout tuples that dominate join sizes. This
+// is the same failure mode — and the same remedy — as the paper's
+// intervalization of numeric columns (§4.3.2): merge at a coarser
+// granularity, keep exact values for the weights.
+func (g *Generator) groupBins(row []int32, idCols []int, dst []int32) {
+	for i, c := range idCols {
+		col := &g.Layout.Cols[c]
+		if col.Kind == join.Fanout {
+			v := col.Bins[row[c]]
+			bucket := int32(0)
+			for v >= 2 {
+				v /= 2
+				bucket++
+			}
+			dst[i] = bucket
+			continue
+		}
+		dst[i] = row[c]
+	}
+}
+
+// materializeGaM assigns join keys with the Group-and-Merge algorithm
+// (Alg. 3) and materializes the database. Primary-key tables are processed
+// in topological order; each table's samples are grouped by the identifier
+// columns of its primary key (plus the already-assigned parent key — the
+// recursive extension to multi-level join trees). Within a group the
+// scaled weights lie on a continuous axis that is cut into ⌈ΣW⌉ unit-sized
+// cells: each cell becomes one fresh key (Alg. 3's weight_sum ≥ 1 rule),
+// samples merge into the cell(s) they overlap, and samples heavier than
+// one cell split across several keys — the generalization needed when the
+// sample budget is much smaller than the full outer join, so individual
+// scaled weights exceed 1.
+func (g *Generator) materializeGaM(flat []int32, k int, weights map[string][]float64, rng *rand.Rand) (*relation.Schema, error) {
+	ncols := g.Layout.NumCols()
+	sample := func(i int) []int32 { return flat[i*ncols : (i+1)*ncols] }
+	tables := g.newEmptyTables()
+	spansOf := make(map[string][][]keySpan) // pk table → per-sample spans
+
+	for _, t := range g.Layout.Schema.Tables {
+		out := tables[t.Name]
+		hasChildren := len(g.Layout.Schema.Children(t.Name)) > 0
+		fanIdx, hasFan := g.Layout.FanoutIndex(t.Name)
+		var parentSpans [][]keySpan
+		if t.Parent != "" {
+			parentSpans = spansOf[t.Parent]
+		}
+		w := weights[t.Name]
+
+		if !hasChildren {
+			g.materializeLeaf(out, t, sample, k, w, parentSpans, fanIdx, hasFan, rng)
+			continue
+		}
+
+		// Group samples by Identifier(T.pk) and the assigned parent key.
+		idCols := g.Layout.IdentifierColumns(t.Name)
+		coarse := make([]int32, len(idCols))
+		allCols := make([]int, len(idCols))
+		for i := range allCols {
+			allCols[i] = i
+		}
+		type group struct{ members []int }
+		order := make([]string, 0, k/4)
+		groups := make(map[string]*group)
+		for i := 0; i < k; i++ {
+			row := sample(i)
+			if hasFan && row[fanIdx] == 0 {
+				continue
+			}
+			if w[i] <= 0 {
+				continue
+			}
+			var pk int64
+			if parentSpans != nil {
+				if parentSpans[i] == nil {
+					continue // parent absent: inconsistent sample
+				}
+				pk = majorityKey(parentSpans[i])
+			}
+			g.groupBins(row, idCols, coarse)
+			gk := binKey(coarse, allCols, pk)
+			grp, ok := groups[gk]
+			if !ok {
+				grp = &group{}
+				groups[gk] = grp
+				order = append(order, gk)
+			}
+			grp.members = append(grp.members, i)
+		}
+
+		// Allocate exactly |T| keys across the groups in proportion to
+		// their merged weights (global largest remainder). Groups too
+		// light to earn a key are dropped, mirroring Alg. 3's behaviour
+		// where a set whose weights never reach 1 yields no tuple; their
+		// child mass is restored by rescaling during leaf materialization.
+		groupWeights := make([]float64, len(order))
+		for gi, gk := range order {
+			for _, m := range groups[gk].members {
+				groupWeights[gi] += w[m]
+			}
+		}
+		keyCounts := systematicCounts(groupWeights, g.Sizes[t.Name])
+
+		spans := make([][]keySpan, k)
+		var counter int64
+		var reprs []int        // representative sample per key
+		var reprParent []int64 // parent key per key
+		for gi, gk := range order {
+			grp := groups[gk]
+			nKeys := keyCounts[gi]
+			if nKeys == 0 {
+				continue
+			}
+			total := groupWeights[gi]
+			cell := total / float64(nKeys)
+			base := counter
+			counter += int64(nKeys)
+			haveRepr := make([]bool, nKeys)
+			acc := 0.0
+			for _, m := range grp.members {
+				start, end := acc, acc+w[m]
+				acc = end
+				first := int(start / cell)
+				last := int((end - 1e-12) / cell)
+				if first >= nKeys {
+					first = nKeys - 1
+				}
+				if last >= nKeys {
+					last = nKeys - 1
+				}
+				for c := first; c <= last; c++ {
+					lo := math.Max(start, float64(c)*cell)
+					hi := math.Min(end, float64(c+1)*cell)
+					frac := (hi - lo) / w[m]
+					if frac <= 0 {
+						continue
+					}
+					spans[m] = append(spans[m], keySpan{key: base + int64(c), frac: frac})
+					if !haveRepr[c] {
+						haveRepr[c] = true
+						reprs = append(reprs, m)
+						pk := int64(0)
+						if parentSpans != nil {
+							pk = majorityKey(parentSpans[m])
+						}
+						reprParent = append(reprParent, pk)
+					}
+				}
+			}
+		}
+		spansOf[t.Name] = spans
+
+		// One row per assigned key; identifier grouping guarantees every
+		// member of a key shares the table's content bins, so the
+		// representative decodes exactly.
+		out.PKVals = make([]int64, 0, len(reprs))
+		for key, ri := range reprs {
+			g.decodeRow(rng, t, out.Cols, sample(ri))
+			out.PKVals = append(out.PKVals, int64(key))
+			if t.Parent != "" {
+				out.FK = append(out.FK, reprParent[key])
+			}
+		}
+	}
+	return g.finishSchema(tables)
+}
+
+// materializeLeaf replicates a leaf relation to exactly |T| rows:
+// per-sample scaled weights are spread over the sample's parent-key spans,
+// aggregated by (parent key, content bins) — "aggregating the scaled
+// weights" within each merged set — and rounded by largest remainder.
+func (g *Generator) materializeLeaf(out *relation.Table, t *relation.Table,
+	sample func(int) []int32, k int, w []float64, parentSpans [][]keySpan,
+	fanIdx int, hasFan bool, rng *rand.Rand) {
+	contentCols := g.Layout.ContentColumns(t.Name)
+	type agg struct {
+		weight float64
+		repr   int
+		fk     int64
+	}
+	order := make([]string, 0, k/4)
+	aggs := make(map[string]*agg)
+	add := func(i int, fk int64, weight float64) {
+		key := binKey(sample(i), contentCols, fk)
+		a, ok := aggs[key]
+		if !ok {
+			a = &agg{repr: i, fk: fk}
+			aggs[key] = a
+			order = append(order, key)
+		}
+		a.weight += weight
+	}
+	for i := 0; i < k; i++ {
+		if w[i] <= 0 {
+			continue
+		}
+		if hasFan && sample(i)[fanIdx] == 0 {
+			continue
+		}
+		if parentSpans == nil {
+			add(i, 0, w[i])
+			continue
+		}
+		if parentSpans[i] == nil {
+			continue
+		}
+		for _, sp := range parentSpans[i] {
+			add(i, sp.key, w[i]*sp.frac)
+		}
+	}
+	aggWeights := make([]float64, len(order))
+	var aggSum float64
+	for ai, key := range order {
+		aggWeights[ai] = aggs[key].weight
+		aggSum += aggs[key].weight
+	}
+	// Rescale so the mass lost with dropped parent groups is restored and
+	// the rounded counts hit |T| exactly.
+	if aggSum > 0 {
+		factor := float64(g.Sizes[t.Name]) / aggSum
+		for ai := range aggWeights {
+			aggWeights[ai] *= factor
+		}
+	}
+	counts := systematicCounts(aggWeights, g.Sizes[t.Name])
+	for ai, c := range counts {
+		if c == 0 {
+			continue
+		}
+		a := aggs[order[ai]]
+		row := sample(a.repr)
+		for j := 0; j < c; j++ {
+			g.decodeRow(rng, t, out.Cols, row)
+			if t.Parent != "" {
+				out.FK = append(out.FK, a.fk)
+			}
+		}
+	}
+}
+
+// materializeViews is the "SAM w/o Group-and-Merge" ablation: foreign keys
+// are assigned from pairwise (parent, child) views as in the paper's
+// Figure 4 — each child row picks a uniform parent key among generated
+// parent rows whose content matches the child's sampled parent content,
+// which preserves pairwise correlation but breaks the joint distribution
+// across three or more relations.
+func (g *Generator) materializeViews(flat []int32, k int, weights map[string][]float64, rng *rand.Rand) (*relation.Schema, error) {
+	ncols := g.Layout.NumCols()
+	sample := func(i int) []int32 { return flat[i*ncols : (i+1)*ncols] }
+	tables := g.newEmptyTables()
+	pkBySig := make(map[string]map[string][]int64) // table → content signature → pks
+	pkAll := make(map[string][]int64)
+
+	for _, t := range g.Layout.Schema.Tables {
+		out := tables[t.Name]
+		hasChildren := len(g.Layout.Schema.Children(t.Name)) > 0
+		contentCols := g.Layout.ContentColumns(t.Name)
+		var parentContent []int
+		if t.Parent != "" {
+			parentContent = g.Layout.ContentColumns(t.Parent)
+		}
+		// Aggregate weights over samples with identical (content, parent
+		// content) bins so rounding happens per distinct tuple signature,
+		// matching the GaM path's granularity.
+		sigCols := append(append([]int(nil), contentCols...), parentContent...)
+		w := weights[t.Name]
+		type agg struct {
+			weight float64
+			repr   int
+		}
+		order := make([]string, 0, k/4)
+		aggs := make(map[string]*agg)
+		for i := 0; i < k; i++ {
+			if w[i] == 0 {
+				continue
+			}
+			key := binKey(sample(i), sigCols, 0)
+			a, ok := aggs[key]
+			if !ok {
+				a = &agg{repr: i}
+				aggs[key] = a
+				order = append(order, key)
+			}
+			a.weight += w[i]
+		}
+		aggWeights := make([]float64, len(order))
+		for ai, key := range order {
+			aggWeights[ai] = aggs[key].weight
+		}
+		counts := systematicCounts(aggWeights, g.Sizes[t.Name])
+		if hasChildren {
+			pkBySig[t.Name] = make(map[string][]int64)
+			out.PKVals = make([]int64, 0, g.Sizes[t.Name])
+		}
+		var counter int64
+		for ai, c := range counts {
+			if c == 0 {
+				continue
+			}
+			row := sample(aggs[order[ai]].repr)
+			var cands []int64
+			if t.Parent != "" {
+				sig := binKey(row, parentContent, 0)
+				cands = pkBySig[t.Parent][sig]
+				if len(cands) == 0 {
+					cands = pkAll[t.Parent]
+				}
+			}
+			for j := 0; j < c; j++ {
+				g.decodeRow(rng, t, out.Cols, row)
+				if t.Parent != "" {
+					out.FK = append(out.FK, cands[rng.Intn(len(cands))])
+				}
+				if hasChildren {
+					pk := counter
+					counter++
+					out.PKVals = append(out.PKVals, pk)
+					sig := binKey(row, contentCols, 0)
+					pkBySig[t.Name][sig] = append(pkBySig[t.Name][sig], pk)
+					pkAll[t.Name] = append(pkAll[t.Name], pk)
+				}
+			}
+		}
+	}
+	return g.finishSchema(tables)
+}

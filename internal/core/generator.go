@@ -1,0 +1,331 @@
+// Package core implements SAM's database generation pipeline — the paper's
+// primary contribution. From uniform full-outer-join samples (drawn from a
+// trained autoregressive model, or from any join.TupleSampler) it derives
+// unbiased base-relation samples via inverse probability weighting (Alg. 2),
+// scales them to the true relation sizes, assigns join keys with the
+// Group-and-Merge algorithm (Alg. 3, extended recursively to multi-level
+// trees), and materializes a synthetic database. Single-relation generation
+// (Alg. 1) is the degenerate case with no virtual columns.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sam/internal/ar"
+	"sam/internal/join"
+	"sam/internal/relation"
+)
+
+// GenOptions controls the generation pass.
+type GenOptions struct {
+	// Samples is the number of full-outer-join tuples to draw (the paper's
+	// k). Zero defaults to the sum of target table sizes.
+	Samples int
+	// Workers bounds sampling parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Seed drives all sampling randomness.
+	Seed int64
+	// GroupAndMerge selects join-key assignment: true runs Algorithm 3;
+	// false is the paper's "SAM w/o Group-and-Merge" ablation, which
+	// assigns foreign keys from pairwise views (Figure 4).
+	GroupAndMerge bool
+}
+
+// DefaultGenOptions returns options matching the paper's main configuration.
+func DefaultGenOptions(seed int64) GenOptions {
+	return GenOptions{Seed: seed, GroupAndMerge: true}
+}
+
+// Generator materializes synthetic databases in the shape of the layout's
+// schema.
+type Generator struct {
+	Layout *join.Layout
+	// Disc decodes model bins back to raw column codes; indexed like the
+	// layout's columns. Identity discretizers pass codes through.
+	Disc []*ar.Discretizer
+	// Sizes is the target row count per table (the |T| inputs of Alg. 1/2).
+	Sizes map[string]int
+}
+
+// NewGenerator validates and builds a generator.
+func NewGenerator(layout *join.Layout, disc []*ar.Discretizer, sizes map[string]int) (*Generator, error) {
+	if len(disc) != layout.NumCols() {
+		return nil, fmt.Errorf("core: %d discretizers for %d model columns", len(disc), layout.NumCols())
+	}
+	for _, t := range layout.Schema.Tables {
+		if sizes[t.Name] <= 0 {
+			return nil, fmt.Errorf("core: missing target size for table %s", t.Name)
+		}
+	}
+	return &Generator{Layout: layout, Disc: disc, Sizes: sizes}, nil
+}
+
+// FromModel builds a generator for a trained SAM model with the original
+// table sizes as targets.
+func FromModel(m *ar.Model, sizes map[string]int) (*Generator, error) {
+	return NewGenerator(m.Layout, m.Disc, sizes)
+}
+
+// Generate runs the full pipeline. newSampler is called once per worker
+// goroutine; a stateless sampler may return itself repeatedly.
+func (g *Generator) Generate(newSampler func() join.TupleSampler, opts GenOptions) (*relation.Schema, error) {
+	k := opts.Samples
+	if k <= 0 {
+		for _, t := range g.Layout.Schema.Tables {
+			k += g.Sizes[t.Name]
+		}
+	}
+	samples := g.drawSamples(newSampler, k, opts)
+	return g.Materialize(samples, opts)
+}
+
+// drawSamples draws k FOJ tuples in parallel and sanitizes presence
+// consistency.
+func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts GenOptions) []int32 {
+	ncols := g.Layout.NumCols()
+	flat := make([]int32, k*ncols)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	var wg sync.WaitGroup
+	chunk := (k + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > k {
+			hi = k
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			s := newSampler()
+			for i := lo; i < hi; i++ {
+				dst := flat[i*ncols : (i+1)*ncols]
+				s.SampleFOJ(rng, dst)
+				g.sanitize(dst)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return flat
+}
+
+// sanitize enforces presence consistency on one sample: a NULL table
+// (fanout bin 0) has NULL descendants too, and NULL tables' content bins
+// are cleared — the invariant oracle samples satisfy by construction and
+// model samples must be projected onto.
+func (g *Generator) sanitize(dst []int32) {
+	s := g.Layout.Schema
+	for _, t := range s.Tables {
+		if t.Parent == "" {
+			continue
+		}
+		idx, _ := g.Layout.FanoutIndex(t.Name)
+		if pIdx, ok := g.Layout.FanoutIndex(t.Parent); ok && dst[pIdx] == 0 {
+			dst[idx] = 0
+		}
+		if dst[idx] == 0 {
+			for _, ci := range g.Layout.ContentColumns(t.Name) {
+				dst[ci] = 0
+			}
+		}
+	}
+}
+
+// Materialize turns pre-drawn FOJ samples (k × NumCols bin codes, flat) into
+// a database. Exposed separately so experiments can reuse one sample set
+// across ablations.
+func (g *Generator) Materialize(flat []int32, opts GenOptions) (*relation.Schema, error) {
+	ncols := g.Layout.NumCols()
+	if len(flat) == 0 || len(flat)%ncols != 0 {
+		return nil, fmt.Errorf("core: sample buffer of %d codes is not a multiple of %d columns", len(flat), ncols)
+	}
+	k := len(flat) / ncols
+	sample := func(i int) []int32 { return flat[i*ncols : (i+1)*ncols] }
+
+	// Algorithm 2: inverse probability weighting and scaling, per table.
+	weights := make(map[string][]float64, len(g.Layout.Schema.Tables))
+	for _, t := range g.Layout.Schema.Tables {
+		w := make([]float64, k)
+		down := g.Layout.DownweightColumns([]string{t.Name})
+		fanIdx, hasFan := g.Layout.FanoutIndex(t.Name)
+		var sum float64
+		for i := 0; i < k; i++ {
+			row := sample(i)
+			if hasFan && row[fanIdx] == 0 {
+				continue // NULL: no sample derived for this relation
+			}
+			wi := 1.0
+			for _, f := range down {
+				wi /= g.Layout.Cols[f].WeightVals[row[f]]
+			}
+			w[i] = wi
+			sum += wi
+		}
+		if sum == 0 {
+			return nil, fmt.Errorf("core: no full-outer-join sample contains relation %s", t.Name)
+		}
+		factor := float64(g.Sizes[t.Name]) / sum // scaling step
+		for i := range w {
+			w[i] *= factor
+		}
+		weights[t.Name] = w
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5a17))
+	if opts.GroupAndMerge {
+		return g.materializeGaM(flat, k, weights, rng)
+	}
+	return g.materializeViews(flat, k, weights, rng)
+}
+
+// binKey serializes selected columns of a sample into a map key.
+func binKey(row []int32, cols []int, extra int64) string {
+	buf := make([]byte, 0, len(cols)*4+8)
+	for _, c := range cols {
+		v := row[c]
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	for s := 0; s < 64; s += 8 {
+		buf = append(buf, byte(extra>>s))
+	}
+	return string(buf)
+}
+
+// systematicCounts allocates total units over nonnegative weights by
+// systematic (stratified) resampling: pointers at (j+½)·(Σw/total) on the
+// cumulative weight axis, one unit per pointer. Unlike largest-remainder
+// rounding — which systematically starves regions whose mass is splintered
+// over many small entries (each fraction individually loses to larger
+// ones) — systematic allocation is unbiased per region: a run of entries
+// with combined weight W receives W·total/Σw units in expectation no
+// matter how finely it is divided. Entries with zero weight get zero.
+func systematicCounts(weights []float64, total int) []int {
+	counts := make([]int, len(weights))
+	var sum float64
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum <= 0 || total <= 0 {
+		return counts
+	}
+	spacing := sum / float64(total)
+	acc := 0.0
+	ptr := 0 // next pointer index, at position (ptr+0.5)*spacing
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		end := acc + w
+		for ptr < total && (float64(ptr)+0.5)*spacing < end {
+			counts[i]++
+			ptr++
+		}
+		acc = end
+	}
+	// Float drift can leave the last pointer unassigned; give it to the
+	// final positive entry.
+	for ptr < total {
+		for i := len(weights) - 1; i >= 0; i-- {
+			if weights[i] > 0 {
+				counts[i]++
+				break
+			}
+		}
+		ptr++
+	}
+	return counts
+}
+
+// largestRemainderCounts rounds nonnegative weights to integers that sum to
+// total (which must be ≤ the ceiling sum). Entries with zero weight stay
+// zero.
+func largestRemainderCounts(weights []float64, total int) []int {
+	type frac struct {
+		idx int
+		f   float64
+	}
+	counts := make([]int, len(weights))
+	used := 0
+	fracs := make([]frac, 0, len(weights))
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		fl := math.Floor(w)
+		counts[i] = int(fl)
+		used += int(fl)
+		fracs = append(fracs, frac{i, w - fl})
+	}
+	remaining := total - used
+	if remaining <= 0 {
+		return counts
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].f != fracs[b].f {
+			return fracs[a].f > fracs[b].f
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for i := 0; i < remaining && i < len(fracs); i++ {
+		counts[fracs[i].idx]++
+	}
+	return counts
+}
+
+// decodeRow appends the decoded content values of table for one sample.
+func (g *Generator) decodeRow(rng *rand.Rand, table *relation.Table, cols []*relation.Column, row []int32) {
+	for ci, c := range table.Cols {
+		idx := g.Layout.ContentIndex(table.Name, c.Name)
+		cols[ci].Append(g.Disc[idx].SampleIn(rng, int(row[idx])))
+	}
+}
+
+// newEmptyTables clones the schema's table shells (same columns/domains, no
+// data).
+func (g *Generator) newEmptyTables() map[string]*relation.Table {
+	out := make(map[string]*relation.Table, len(g.Layout.Schema.Tables))
+	for _, t := range g.Layout.Schema.Tables {
+		cols := make([]*relation.Column, len(t.Cols))
+		for i, c := range t.Cols {
+			nc := relation.NewColumn(c.Name, c.Kind, c.NumValues)
+			if c.Vals != nil {
+				nc = nc.WithVals(c.Vals)
+			}
+			cols[i] = nc
+		}
+		nt := relation.NewTable(t.Name, cols...)
+		nt.Parent = t.Parent
+		out[t.Name] = nt
+	}
+	return out
+}
+
+func (g *Generator) finishSchema(tables map[string]*relation.Table) (*relation.Schema, error) {
+	ordered := make([]*relation.Table, 0, len(tables))
+	for _, t := range g.Layout.Schema.Tables {
+		ordered = append(ordered, tables[t.Name])
+	}
+	s, err := relation.NewSchema(ordered...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,438 @@
+// Package engine executes workload queries against in-memory databases:
+// conjunctive filters, foreign-key joins along the schema tree, full outer
+// join sizing, and timed execution. It plays the role PostgreSQL plays in
+// the paper's evaluation — ground-truth cardinalities for training and test
+// workloads, and wall-clock latencies for the performance-deviation
+// experiments.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+// MatchMask evaluates the conjunction of preds on every row of t and
+// returns one bool per row. Predicates referencing other tables are
+// ignored; unknown columns panic (queries are validated upstream).
+func MatchMask(t *relation.Table, preds []workload.Predicate) []bool {
+	n := t.NumRows()
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	for pi := range preds {
+		p := &preds[pi]
+		if p.Table != t.Name {
+			continue
+		}
+		col := t.Col(p.Column)
+		if col == nil {
+			panic(fmt.Sprintf("engine: unknown column %s.%s", p.Table, p.Column))
+		}
+		data := col.Data
+		switch p.Op {
+		case workload.LE:
+			lit := p.Code
+			for i, c := range data {
+				if c > lit {
+					mask[i] = false
+				}
+			}
+		case workload.GE:
+			lit := p.Code
+			for i, c := range data {
+				if c < lit {
+					mask[i] = false
+				}
+			}
+		case workload.EQ:
+			lit := p.Code
+			for i, c := range data {
+				if c != lit {
+					mask[i] = false
+				}
+			}
+		case workload.IN:
+			set := make(map[int32]bool, len(p.Codes))
+			for _, c := range p.Codes {
+				set[c] = true
+			}
+			for i, c := range data {
+				if !set[c] {
+					mask[i] = false
+				}
+			}
+		default:
+			panic(fmt.Sprintf("engine: unknown op %v", p.Op))
+		}
+	}
+	return mask
+}
+
+// Card returns the cardinality of q on s: the number of matching rows for a
+// single relation, or the inner equi-join result size along the schema's FK
+// edges for multi-relation queries.
+func Card(s *relation.Schema, q *workload.Query) int64 {
+	if len(q.Tables) == 1 {
+		t := s.Table(q.Tables[0])
+		mask := MatchMask(t, q.Preds)
+		var n int64
+		for _, m := range mask {
+			if m {
+				n++
+			}
+		}
+		return n
+	}
+	inQ := make(map[string]bool, len(q.Tables))
+	for _, name := range q.Tables {
+		inQ[name] = true
+	}
+	root := ""
+	for _, name := range q.Tables {
+		parent := s.Table(name).Parent
+		if parent == "" || !inQ[parent] {
+			root = name
+			break
+		}
+	}
+	if root == "" {
+		panic("engine: join query has no local root")
+	}
+	rt := s.Table(root)
+	mask := MatchMask(rt, q.Preds)
+	childCounts := childJoinCounts(s, q, inQ, root)
+	var total int64
+	for i := 0; i < rt.NumRows(); i++ {
+		if !mask[i] {
+			continue
+		}
+		w := int64(1)
+		pk := rt.PK(i)
+		for _, cnt := range childCounts {
+			w *= cnt[pk]
+			if w == 0 {
+				break
+			}
+		}
+		total += w
+	}
+	return total
+}
+
+// childJoinCounts computes, for every child of parent participating in the
+// query, the inner-join row multiplicity per parent key, recursing down the
+// subtree.
+func childJoinCounts(s *relation.Schema, q *workload.Query, inQ map[string]bool, parent string) []map[int64]int64 {
+	var out []map[int64]int64
+	for _, child := range s.Children(parent) {
+		if !inQ[child.Name] {
+			continue
+		}
+		mask := MatchMask(child, q.Preds)
+		grand := childJoinCounts(s, q, inQ, child.Name)
+		cnt := make(map[int64]int64)
+		for i := 0; i < child.NumRows(); i++ {
+			if !mask[i] {
+				continue
+			}
+			w := int64(1)
+			pk := child.PK(i)
+			for _, g := range grand {
+				w *= g[pk]
+				if w == 0 {
+					break
+				}
+			}
+			if w != 0 {
+				cnt[child.FK[i]] += w
+			}
+		}
+		out = append(out, cnt)
+	}
+	return out
+}
+
+// FOJSize returns the number of tuples of the full outer join of the whole
+// schema, computed by fanout aggregation without materialization: a parent
+// row with no matching child rows still appears once (the child columns are
+// NULL), hence the max(count, 1) factors.
+func FOJSize(s *relation.Schema) int64 {
+	roots := s.Roots()
+	if len(roots) != 1 {
+		// A forest's FOJ is the product of the trees' FOJs; this repository
+		// only uses single-root schemas.
+		panic("engine: FOJSize requires a single-root schema")
+	}
+	root := roots[0]
+	counts := fojChildCounts(s, root.Name)
+	var total int64
+	for i := 0; i < root.NumRows(); i++ {
+		w := int64(1)
+		pk := root.PK(i)
+		for _, cnt := range counts {
+			c := cnt[pk]
+			if c > 1 {
+				w *= c
+			}
+		}
+		total += w
+	}
+	return total
+}
+
+func fojChildCounts(s *relation.Schema, parent string) []map[int64]int64 {
+	var out []map[int64]int64
+	for _, child := range s.Children(parent) {
+		grand := fojChildCounts(s, child.Name)
+		cnt := make(map[int64]int64)
+		for i := 0; i < child.NumRows(); i++ {
+			w := int64(1)
+			pk := child.PK(i)
+			for _, g := range grand {
+				c := g[pk]
+				if c > 1 {
+					w *= c
+				}
+			}
+			cnt[child.FK[i]] += w
+		}
+		out = append(out, cnt)
+	}
+	return out
+}
+
+// Fanouts returns, for the FK table named child, the number of child rows
+// per parent primary key — the fanout column F_{child.key} of the paper.
+// Keys absent from the map have fanout 0.
+func Fanouts(s *relation.Schema, child string) map[int64]int64 {
+	t := s.Table(child)
+	if t == nil || t.Parent == "" {
+		panic(fmt.Sprintf("engine: %s is not a foreign-key table", child))
+	}
+	cnt := make(map[int64]int64)
+	for _, fk := range t.FK {
+		cnt[fk]++
+	}
+	return cnt
+}
+
+// TimedCard executes q and returns its cardinality along with the
+// wall-clock execution time — the latency signal for the performance
+// deviation experiments (Tables 8 and 9).
+func TimedCard(s *relation.Schema, q *workload.Query) (int64, time.Duration) {
+	start := time.Now()
+	card := Card(s, q)
+	return card, time.Since(start)
+}
+
+// Label evaluates every query against s in parallel and returns the
+// resulting cardinality constraints in input order.
+func Label(s *relation.Schema, queries []workload.Query) []workload.CardQuery {
+	out := make([]workload.CardQuery, len(queries))
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(queries) {
+		nw = len(queries)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(queries) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = workload.CardQuery{Query: queries[i], Card: Card(s, &queries[i])}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// SignedCard evaluates an inclusion–exclusion expansion: Σ sign·Card.
+func SignedCard(s *relation.Schema, sq []workload.SignedQuery) int64 {
+	var total int64
+	for i := range sq {
+		total += int64(sq[i].Sign) * Card(s, &sq[i].Query)
+	}
+	return total
+}
+
+// Enumerate executes q and walks every result tuple, returning the result
+// cardinality. Unlike Card — whose cost is dominated by scans — Enumerate
+// spends work proportional to the output size (it visits each join
+// combination), which is how latency behaves in a row-producing DBMS.
+// The performance-deviation experiments (Tables 8–9) time this walk.
+func Enumerate(s *relation.Schema, q *workload.Query) int64 {
+	if len(q.Tables) == 1 {
+		t := s.Table(q.Tables[0])
+		mask := MatchMask(t, q.Preds)
+		var n int64
+		var sink int64
+		for i, m := range mask {
+			if m {
+				n++
+				sink ^= int64(i) // touch each produced row
+			}
+		}
+		runtime.KeepAlive(sink)
+		return n
+	}
+	inQ := make(map[string]bool, len(q.Tables))
+	for _, name := range q.Tables {
+		inQ[name] = true
+	}
+	root := ""
+	for _, name := range q.Tables {
+		parent := s.Table(name).Parent
+		if parent == "" || !inQ[parent] {
+			root = name
+			break
+		}
+	}
+	rt := s.Table(root)
+	mask := MatchMask(rt, q.Preds)
+	rows := childJoinRows(s, q, inQ, root)
+	var total int64
+	var sink int64
+	// For each root row, walk the cartesian product of its children's
+	// expanded row lists — one visit per result tuple.
+	for i := 0; i < rt.NumRows(); i++ {
+		if !mask[i] {
+			continue
+		}
+		total += walkProduct(rows, rt.PK(i), 0, &sink)
+	}
+	runtime.KeepAlive(sink)
+	return total
+}
+
+// childRowSet maps a parent key to the (already recursively expanded)
+// joined row weights of one child subtree: each entry is the pk of a
+// matching child row, repeated per its own subtree combination count.
+type childRowSet map[int64][]int64
+
+// childJoinRows builds, per participating child of parent, the list of
+// matching child-subtree expansions keyed by parent key.
+func childJoinRows(s *relation.Schema, q *workload.Query, inQ map[string]bool, parent string) []childRowSet {
+	var out []childRowSet
+	for _, child := range s.Children(parent) {
+		if !inQ[child.Name] {
+			continue
+		}
+		mask := MatchMask(child, q.Preds)
+		grand := childJoinRows(s, q, inQ, child.Name)
+		set := make(childRowSet)
+		var sink int64
+		for i := 0; i < child.NumRows(); i++ {
+			if !mask[i] {
+				continue
+			}
+			pk := child.PK(i)
+			n := walkProduct(grand, pk, 0, &sink)
+			for rep := int64(0); rep < n; rep++ {
+				set[child.FK[i]] = append(set[child.FK[i]], pk)
+			}
+		}
+		out = append(out, set)
+	}
+	return out
+}
+
+// walkProduct walks the cartesian product of the sibling row sets for one
+// parent key, touching every combination. All sibling sets are keyed by
+// the same parent key.
+func walkProduct(sets []childRowSet, pk int64, level int, sink *int64) int64 {
+	if level == len(sets) {
+		return 1
+	}
+	var n int64
+	for _, sub := range sets[level][pk] {
+		*sink ^= sub
+		n += walkProduct(sets, pk, level+1, sink)
+	}
+	return n
+}
+
+// TimedEnumerate executes q with output walking and returns its
+// cardinality along with the wall-clock execution time.
+func TimedEnumerate(s *relation.Schema, q *workload.Query) (int64, time.Duration) {
+	start := time.Now()
+	card := Enumerate(s, q)
+	return card, time.Since(start)
+}
+
+// Describe returns an EXPLAIN-style, human-readable account of how q
+// executes: join order along the schema tree and per-table filter
+// selectivity. Used by inspection tooling and examples.
+func Describe(s *relation.Schema, q *workload.Query) string {
+	var sb strings.Builder
+	inQ := make(map[string]bool, len(q.Tables))
+	for _, name := range q.Tables {
+		inQ[name] = true
+	}
+	root := q.Tables[0]
+	for _, name := range q.Tables {
+		parent := s.Table(name).Parent
+		if parent == "" || !inQ[parent] {
+			root = name
+			break
+		}
+	}
+	var walk func(table string, depth int)
+	walk = func(table string, depth int) {
+		t := s.Table(table)
+		mask := MatchMask(t, q.Preds)
+		matched := 0
+		for _, m := range mask {
+			if m {
+				matched++
+			}
+		}
+		var preds []string
+		for _, p := range q.Preds {
+			if p.Table == table {
+				if p.Op == workload.IN {
+					preds = append(preds, fmt.Sprintf("%s IN(%d values)", p.Column, len(p.Codes)))
+				} else {
+					preds = append(preds, fmt.Sprintf("%s %v %d", p.Column, p.Op, p.Code))
+				}
+			}
+		}
+		pad := strings.Repeat("  ", depth)
+		join := "scan"
+		if depth > 0 {
+			join = "hash-join on " + t.Parent + ".pk"
+		}
+		fmt.Fprintf(&sb, "%s%s %s: %d/%d rows pass", pad, join, table, matched, t.NumRows())
+		if len(preds) > 0 {
+			fmt.Fprintf(&sb, " [%s]", strings.Join(preds, " AND "))
+		}
+		sb.WriteByte('\n')
+		for _, c := range s.Children(table) {
+			if inQ[c.Name] {
+				walk(c.Name, depth+1)
+			}
+		}
+	}
+	walk(root, 0)
+	fmt.Fprintf(&sb, "result: %d rows\n", Card(s, q))
+	return sb.String()
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"sam/internal/workload"
+)
+
+func BenchmarkSingleTableCard(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := buildTestSchema(rng, 20000, 100)
+	q := &workload.Query{Tables: []string{"root"}, Preds: []workload.Predicate{
+		{Table: "root", Column: "r1", Op: workload.LE, Code: 2},
+		{Table: "root", Column: "r2", Op: workload.EQ, Code: 1},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Card(s, q)
+	}
+}
+
+func BenchmarkFourWayJoinCard(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := buildTestSchema(rng, 5000, 15000)
+	q := &workload.Query{
+		Tables: []string{"root", "b", "c", "d"},
+		Preds: []workload.Predicate{
+			{Table: "root", Column: "r1", Op: workload.LE, Code: 2},
+			{Table: "b", Column: "b1", Op: workload.GE, Code: 1},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Card(s, q)
+	}
+}
+
+func BenchmarkFOJSize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := buildTestSchema(rng, 5000, 15000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FOJSize(s)
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sam/internal/ar"
+	"sam/internal/core"
+	"sam/internal/indep"
+	"sam/internal/join"
+	"sam/internal/metrics"
+	"sam/internal/relation"
+)
+
+// ExtBackbones compares the two autoregressive architectures the paper
+// names (§4.1, MADE and Transformer) on the census workload: training
+// time, input-query fidelity of the generated database, and cross entropy.
+// This is an extension beyond the paper's tables (the paper evaluates the
+// MADE instantiation only).
+func ExtBackbones(c *Context) *Report {
+	r := &Report{
+		ID:     "ext1",
+		Title:  "Backbone comparison: MADE vs Transformer (Census)",
+		Header: []string{"Backbone", "TrainTime(s)", "MedianQErr", "MeanQErr", "CrossEntropy(bits)"},
+	}
+	b := c.Census()
+	s := c.Scale
+	// Keep the transformer affordable: cap the workload and epochs.
+	nQ := b.Train.Len()
+	if nQ > 400 {
+		nQ = 400
+	}
+	wl := b.Train.Prefix(nQ)
+
+	for _, arch := range []string{"made", "transformer"} {
+		cfg := ar.DefaultTrainConfig()
+		cfg.Epochs = s.Epochs
+		if cfg.Epochs > 6 {
+			cfg.Epochs = 6
+		}
+		cfg.BatchSize = s.Batch
+		cfg.LR = s.LR
+		cfg.Seed = s.Seed
+		cfg.Model.Arch = arch
+		cfg.Model.Hidden = s.Hidden
+		if arch == "transformer" {
+			cfg.Model.DModel = 24
+			cfg.Model.Heads = 2
+			cfg.Model.HiddenLayers = 1
+		}
+		c.Logf("ext1: training %s backbone on census (%d queries)", arch, nQ)
+		start := time.Now()
+		m, err := ar.Train(b.Layout, wl, b.Population, cfg)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: %v", arch, err))
+			continue
+		}
+		trainTime := time.Since(start)
+		gen, err := core.FromModel(m, b.Sizes)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: %v", arch, err))
+			continue
+		}
+		opts := core.DefaultGenOptions(s.Seed + 13)
+		opts.Samples = b.Sizes[b.Orig.Tables[0].Name]
+		db, err := gen.Generate(func() join.TupleSampler { return m.NewSampler() }, opts)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: %v", arch, err))
+			continue
+		}
+		qe := qErrorsOn(db, wl.Queries)
+		sum := metrics.Summarize(qe)
+		h := metrics.CrossEntropyBits(b.Orig.Tables[0], db.Tables[0])
+		r.Rows = append(r.Rows, []string{arch,
+			fmt.Sprintf("%.2f", trainTime.Seconds()), fmtG(sum.Median), fmtG(sum.Mean), fmtG(h)})
+	}
+	return r
+}
+
+// ExtProgressiveSamples sweeps the number of Monte-Carlo chains per query
+// during DPS training (the paper leaves improving the sampler as future
+// work; §7) on a reduced census workload.
+func ExtProgressiveSamples(c *Context) *Report {
+	r := &Report{
+		ID:     "ext2",
+		Title:  "DPS progressive samples per query (Census)",
+		Header: []string{"Samples", "TrainTime(s)", "MedianQErr", "MeanQErr"},
+	}
+	b := c.Census()
+	s := c.Scale
+	nQ := b.Train.Len()
+	if nQ > 400 {
+		nQ = 400
+	}
+	wl := b.Train.Prefix(nQ)
+	for _, ps := range []int{1, 2, 4} {
+		cfg := ar.DefaultTrainConfig()
+		cfg.Epochs = s.Epochs
+		if cfg.Epochs > 6 {
+			cfg.Epochs = 6
+		}
+		cfg.BatchSize = s.Batch
+		cfg.LR = s.LR
+		cfg.Seed = s.Seed
+		cfg.Model.Hidden = s.Hidden
+		cfg.ProgressiveSamples = ps
+		c.Logf("ext2: training with %d progressive samples", ps)
+		start := time.Now()
+		m, err := ar.Train(b.Layout, wl, b.Population, cfg)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("ps=%d: %v", ps, err))
+			continue
+		}
+		trainTime := time.Since(start)
+		erng := rand.New(rand.NewSource(s.Seed + 17))
+		var qe []float64
+		for qi := range wl.Queries {
+			est, err := m.Estimate(erng, &wl.Queries[qi].Query, 8)
+			if err != nil {
+				continue
+			}
+			qe = append(qe, metrics.QError(est, float64(wl.Queries[qi].Card)))
+		}
+		sum := metrics.Summarize(qe)
+		r.Rows = append(r.Rows, []string{fmt.Sprint(ps),
+			fmt.Sprintf("%.2f", trainTime.Seconds()), fmtG(sum.Median), fmtG(sum.Mean)})
+	}
+	return r
+}
+
+// ExtIndependence adds the classic independence strawman (per-column
+// histograms, §2.3's Limitation 1) next to PGM and SAM on Census database
+// recovery: test-query Q-Error and cross entropy.
+func ExtIndependence(c *Context) *Report {
+	r := &Report{
+		ID:     "ext3",
+		Title:  "Independence baseline vs PGM vs SAM (Census recovery)",
+		Header: []string{"Model", "MedianTestQErr", "MeanTestQErr", "CrossEntropy(bits)"},
+	}
+	b := c.Census()
+	addRow := func(name string, db *relation.Schema) {
+		qe := qErrorsOn(db, b.Test.Queries)
+		sum := metrics.Summarize(qe)
+		h := metrics.CrossEntropyBits(b.Orig.Tables[0], db.Tables[0])
+		r.Rows = append(r.Rows, []string{name, fmtG(sum.Median), fmtG(sum.Mean), fmtG(h)})
+	}
+
+	im, err := indep.Train(b.Orig, b.Train, b.Sizes)
+	if err != nil {
+		r.Notes = append(r.Notes, fmt.Sprintf("indep: %v", err))
+	} else if db, err := im.Generate(c.Scale.Seed + 19); err == nil {
+		addRow("INDEP", db)
+	}
+	if db, _, err := c.PGMDB(b, c.Scale.TinyCensusQ); err == nil {
+		addRow("PGM", db)
+	}
+	db, _ := c.SAMDB(b, 0, 0, true)
+	addRow("SAM", db)
+	r.Notes = append(r.Notes,
+		"INDEP consumes the full workload's single-predicate constraints; PGM its feasible prefix; SAM the full workload")
+	return r
+}

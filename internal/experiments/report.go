@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sam/internal/engine"
+	"sam/internal/metrics"
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+// Report is one experiment's printable result.
+type Report struct {
+	ID     string // e.g. "tab1", "fig5"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// fmtG renders a metric value compactly (matching the paper's mix of fixed
+// and scientific notation).
+func fmtG(v float64) string {
+	switch {
+	case v >= 1e5:
+		return fmt.Sprintf("%.1e", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case v < 0.1 && v != 0:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// summaryCells renders a Summary as table cells.
+func summaryCells(s metrics.Summary, withMax bool) []string {
+	cells := []string{fmtG(s.Median), fmtG(s.P75), fmtG(s.P90), fmtG(s.Mean)}
+	if withMax {
+		cells = append(cells, fmtG(s.Max))
+	}
+	return cells
+}
+
+// qErrorsOn executes each constraint's query on db and returns the
+// Q-Errors against the recorded cardinalities.
+func qErrorsOn(db *relation.Schema, queries []workload.CardQuery) []float64 {
+	out := make([]float64, 0, len(queries))
+	for i := range queries {
+		got := engine.Card(db, &queries[i].Query)
+		out = append(out, metrics.QError(float64(got), float64(queries[i].Card)))
+	}
+	return out
+}
+
+// sampleQueries returns up to n evenly spaced constraints from the
+// workload (the paper evaluates a random sample of 1000 input queries on
+// IMDB; even spacing keeps it deterministic).
+func sampleQueries(wl *workload.Workload, n int) []workload.CardQuery {
+	if n <= 0 || wl.Len() <= n {
+		return wl.Queries
+	}
+	out := make([]workload.CardQuery, 0, n)
+	step := float64(wl.Len()) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, wl.Queries[int(float64(i)*step)])
+	}
+	return out
+}
+
+// latenciesOn measures per-query execution latency (min over reps) in
+// nanoseconds, using the output-walking executor so latency scales with
+// result size like a row-producing DBMS.
+func latenciesOn(db *relation.Schema, queries []workload.CardQuery, reps int) []int64 {
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]int64, len(queries))
+	for i := range queries {
+		best := int64(1 << 62)
+		for r := 0; r < reps; r++ {
+			_, d := engine.TimedEnumerate(db, &queries[i].Query)
+			if d.Nanoseconds() < best {
+				best = d.Nanoseconds()
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sam/internal/metrics"
+)
+
+// Table1 — Q-Error of input queries at full workload scale on the
+// single-relation datasets (SAM only; PGM cannot process workloads this
+// large).
+func Table1(c *Context) *Report {
+	r := &Report{
+		ID:     "tab1",
+		Title:  "Q-Error of input queries — full scale (Census, DMV)",
+		Header: []string{"Model", "Dataset", "Median", "75th", "90th", "Mean"},
+	}
+	for _, b := range []*Bundle{c.Census(), c.DMV()} {
+		db, _ := c.SAMDB(b, 0, 0, true)
+		qe := qErrorsOn(db, sampleQueries(b.Train, c.Scale.EvalInputQ))
+		r.Rows = append(r.Rows, append([]string{"SAM", b.Name}, summaryCells(metrics.Summarize(qe), false)...))
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("input workloads: census %d, dmv %d queries; evaluated on %d sampled constraints",
+		c.Census().Train.Len(), c.DMV().Train.Len(), c.Scale.EvalInputQ))
+	return r
+}
+
+// Table2 — Q-Error on the very small workloads PGM can fully process
+// within its time budget, both methods on the same constraints.
+func Table2(c *Context) *Report {
+	r := &Report{
+		ID:     "tab2",
+		Title:  "Q-Error of very few input queries (PGM-feasible workloads)",
+		Header: []string{"Model", "Dataset", "#Q", "Median", "75th", "90th", "Mean"},
+	}
+	for _, item := range []struct {
+		b    *Bundle
+		tiny int
+	}{{c.Census(), c.Scale.TinyCensusQ}, {c.DMV(), c.Scale.TinyDMVQ}} {
+		b := item.b
+		queries := b.Train.Prefix(item.tiny).Queries
+		if db, _, err := c.PGMDB(b, item.tiny); err == nil {
+			qe := qErrorsOn(db, queries)
+			r.Rows = append(r.Rows, append([]string{"PGM", b.Name, fmt.Sprint(item.tiny)},
+				summaryCells(metrics.Summarize(qe), false)...))
+		} else {
+			r.Notes = append(r.Notes, fmt.Sprintf("PGM failed on %s: %v", b.Name, err))
+		}
+		db, _ := c.SAMDB(b, item.tiny, 0, true)
+		qe := qErrorsOn(db, queries)
+		r.Rows = append(r.Rows, append([]string{"SAM", b.Name, fmt.Sprint(item.tiny)},
+			summaryCells(metrics.Summarize(qe), false)...))
+	}
+	return r
+}
+
+// Table3 — Q-Error of input queries on IMDB at full workload scale: SAM
+// with and without Group-and-Merge.
+func Table3(c *Context) *Report {
+	r := &Report{
+		ID:     "tab3",
+		Title:  "Q-Error of input queries on IMDB — full scale",
+		Header: []string{"Model", "Median", "75th", "90th", "Mean", "Max"},
+	}
+	b := c.IMDB()
+	eval := sampleQueries(b.Train, c.Scale.EvalInputQ)
+	for _, gam := range []bool{false, true} {
+		db, _ := c.SAMDB(b, 0, c.Scale.IMDBSamples, gam)
+		name := "SAM"
+		if !gam {
+			name = "SAM w/o Group-and-Merge"
+		}
+		qe := qErrorsOn(db, eval)
+		r.Rows = append(r.Rows, append([]string{name}, summaryCells(metrics.Summarize(qe), true)...))
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("input workload: %d queries; evaluated on %d sampled constraints",
+		b.Train.Len(), len(eval)))
+	return r
+}
+
+// Table4 — Q-Error of the small IMDB workload all three methods can
+// process: PGM, SAM w/o Group-and-Merge, SAM.
+func Table4(c *Context) *Report {
+	r := &Report{
+		ID:     "tab4",
+		Title:  fmt.Sprintf("Q-Error of %d input queries on IMDB", c.Scale.SmallIMDBQ),
+		Header: []string{"Model", "Median", "75th", "90th", "Mean", "Max"},
+	}
+	b := c.IMDB()
+	n := c.Scale.SmallIMDBQ
+	queries := b.Train.Prefix(n).Queries
+	if db, _, err := c.PGMDB(b, n); err == nil {
+		qe := qErrorsOn(db, queries)
+		r.Rows = append(r.Rows, append([]string{"PGM"}, summaryCells(metrics.Summarize(qe), true)...))
+	} else {
+		r.Notes = append(r.Notes, fmt.Sprintf("PGM failed: %v", err))
+	}
+	for _, gam := range []bool{false, true} {
+		db, _ := c.SAMDB(b, n, c.Scale.IMDBSamples, gam)
+		name := "SAM"
+		if !gam {
+			name = "SAM w/o Group-and-Merge"
+		}
+		qe := qErrorsOn(db, queries)
+		r.Rows = append(r.Rows, append([]string{name}, summaryCells(metrics.Summarize(qe), true)...))
+	}
+	return r
+}
+
+// Table5 — Q-Error of unseen test queries on the single-relation
+// datasets: PGM (trained on the tiny workload it can handle) vs SAM
+// (trained on the full workload). The fixed-processing-time protocol of
+// §5.1.
+func Table5(c *Context) *Report {
+	r := &Report{
+		ID:     "tab5",
+		Title:  "Q-Error of test queries (database recovery)",
+		Header: []string{"Model", "Dataset", "Median", "75th", "90th", "Mean"},
+	}
+	for _, item := range []struct {
+		b    *Bundle
+		tiny int
+	}{{c.Census(), c.Scale.TinyCensusQ}, {c.DMV(), c.Scale.TinyDMVQ}} {
+		b := item.b
+		if db, _, err := c.PGMDB(b, item.tiny); err == nil {
+			qe := qErrorsOn(db, b.Test.Queries)
+			r.Rows = append(r.Rows, append([]string{"PGM", b.Name}, summaryCells(metrics.Summarize(qe), false)...))
+		} else {
+			r.Notes = append(r.Notes, fmt.Sprintf("PGM failed on %s: %v", b.Name, err))
+		}
+		db, _ := c.SAMDB(b, 0, 0, true)
+		qe := qErrorsOn(db, b.Test.Queries)
+		r.Rows = append(r.Rows, append([]string{"SAM", b.Name}, summaryCells(metrics.Summarize(qe), false)...))
+	}
+	r.Notes = append(r.Notes,
+		"fixed-time protocol: PGM processes only the workload prefix it can finish; SAM processes the full workload")
+	return r
+}
+
+// Table6 — Q-Error of JOB-light-style queries on IMDB: PGM, SAM w/o
+// Group-and-Merge, SAM.
+func Table6(c *Context) *Report {
+	r := &Report{
+		ID:     "tab6",
+		Title:  "Q-Error of JOB-light queries on IMDB",
+		Header: []string{"Model", "Median", "75th", "90th", "Mean", "Max"},
+	}
+	b := c.IMDB()
+	if db, _, err := c.PGMDB(b, c.Scale.SmallIMDBQ); err == nil {
+		qe := qErrorsOn(db, b.Test.Queries)
+		r.Rows = append(r.Rows, append([]string{"PGM"}, summaryCells(metrics.Summarize(qe), true)...))
+	} else {
+		r.Notes = append(r.Notes, fmt.Sprintf("PGM failed: %v", err))
+	}
+	for _, gam := range []bool{false, true} {
+		db, _ := c.SAMDB(b, 0, c.Scale.IMDBSamples, gam)
+		name := "SAM"
+		if !gam {
+			name = "SAM w/o Group-and-Merge"
+		}
+		qe := qErrorsOn(db, b.Test.Queries)
+		r.Rows = append(r.Rows, append([]string{name}, summaryCells(metrics.Summarize(qe), true)...))
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("%d JOB-light-style queries joining up to %d relations",
+		b.Test.Len(), len(b.Orig.Tables)))
+	return r
+}
+
+// Table7 — cross entropy between the generated and original relations
+// (title for IMDB, per Eq. 1).
+func Table7(c *Context) *Report {
+	r := &Report{
+		ID:     "tab7",
+		Title:  "Cross entropy of the generated relation (bits)",
+		Header: []string{"Model", "Census", "DMV", "IMDB(title)"},
+	}
+	pgmCells := []string{"PGM"}
+	samCells := []string{"SAM"}
+	items := []struct {
+		b     *Bundle
+		tiny  int
+		table string
+	}{
+		{c.Census(), c.Scale.TinyCensusQ, "census"},
+		{c.DMV(), c.Scale.TinyDMVQ, "dmv"},
+		{c.IMDB(), c.Scale.SmallIMDBQ, "title"},
+	}
+	for _, item := range items {
+		b := item.b
+		orig := b.Orig.Table(item.table)
+		if db, _, err := c.PGMDB(b, item.tiny); err == nil {
+			pgmCells = append(pgmCells, fmtG(metrics.CrossEntropyBits(orig, db.Table(item.table))))
+		} else {
+			pgmCells = append(pgmCells, "fail")
+		}
+		db, _ := c.SAMDB(b, 0, 0, true)
+		samCells = append(samCells, fmtG(metrics.CrossEntropyBits(orig, db.Table(item.table))))
+	}
+	r.Rows = append(r.Rows, pgmCells, samCells)
+	return r
+}
+
+// Table8 — performance deviation of test queries on the single-relation
+// datasets, in milliseconds, using the in-memory engine's execution
+// latency (the PostgreSQL substitute).
+func Table8(c *Context) *Report {
+	r := &Report{
+		ID:     "tab8",
+		Title:  "Performance deviation of test queries (ms)",
+		Header: []string{"Model", "Dataset", "Median", "75th", "90th", "Mean"},
+	}
+	for _, item := range []struct {
+		b    *Bundle
+		tiny int
+	}{{c.Census(), c.Scale.TinyCensusQ}, {c.DMV(), c.Scale.TinyDMVQ}} {
+		b := item.b
+		origLat := latenciesOn(b.Orig, b.Test.Queries, c.Scale.LatencyReps)
+		if db, _, err := c.PGMDB(b, item.tiny); err == nil {
+			dev := metrics.Deviations(origLat, latenciesOn(db, b.Test.Queries, c.Scale.LatencyReps))
+			r.Rows = append(r.Rows, append([]string{"PGM", b.Name}, summaryCells(metrics.Summarize(dev), false)...))
+		}
+		db, _ := c.SAMDB(b, 0, 0, true)
+		dev := metrics.Deviations(origLat, latenciesOn(db, b.Test.Queries, c.Scale.LatencyReps))
+		r.Rows = append(r.Rows, append([]string{"SAM", b.Name}, summaryCells(metrics.Summarize(dev), false)...))
+	}
+	r.Notes = append(r.Notes, "latencies from the in-memory engine (min over repetitions); see DESIGN.md substitutions")
+	return r
+}
+
+// Table9 — performance deviation of the JOB-light workload on IMDB (ms).
+func Table9(c *Context) *Report {
+	r := &Report{
+		ID:     "tab9",
+		Title:  "Performance deviation of JOB-light queries on IMDB (ms)",
+		Header: []string{"Model", "Median", "75th", "90th", "Mean", "Max"},
+	}
+	b := c.IMDB()
+	origLat := latenciesOn(b.Orig, b.Test.Queries, c.Scale.LatencyReps)
+	if db, _, err := c.PGMDB(b, c.Scale.SmallIMDBQ); err == nil {
+		dev := metrics.Deviations(origLat, latenciesOn(db, b.Test.Queries, c.Scale.LatencyReps))
+		r.Rows = append(r.Rows, append([]string{"PGM"}, summaryCells(metrics.Summarize(dev), true)...))
+	}
+	db, _ := c.SAMDB(b, 0, c.Scale.IMDBSamples, true)
+	dev := metrics.Deviations(origLat, latenciesOn(db, b.Test.Queries, c.Scale.LatencyReps))
+	r.Rows = append(r.Rows, append([]string{"SAM"}, summaryCells(metrics.Summarize(dev), true)...))
+	return r
+}

@@ -1,0 +1,135 @@
+package indep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sam/internal/datagen"
+	"sam/internal/engine"
+	"sam/internal/metrics"
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+func TestTrainRejectsEmptyWorkload(t *testing.T) {
+	s := datagen.Census(1, 100)
+	if _, err := Train(s, &workload.Workload{}, map[string]int{"census": 100}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestIndependentModelFitsMarginals(t *testing.T) {
+	// Single-column constraints on a skewed column must reshape its
+	// histogram away from uniform.
+	col := relation.NewColumn("v", relation.Categorical, 4)
+	for i := 0; i < 1000; i++ {
+		if i < 900 {
+			col.Append(0)
+		} else {
+			col.Append(int32(1 + i%3))
+		}
+	}
+	s := relation.MustSchema(relation.NewTable("t", col))
+	queries := []workload.Query{
+		{Tables: []string{"t"}, Preds: []workload.Predicate{{Table: "t", Column: "v", Op: workload.EQ, Code: 0}}},
+		{Tables: []string{"t"}, Preds: []workload.Predicate{{Table: "t", Column: "v", Op: workload.GE, Code: 1}}},
+	}
+	wl := &workload.Workload{Queries: engine.Label(s, queries)}
+	m, err := Train(s, wl, map[string]int{"t": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := m.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeros int
+	for _, v := range gen.Tables[0].Col("v").Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / 1000
+	if math.Abs(frac-0.9) > 0.05 {
+		t.Fatalf("P(v=0) generated %.3f want ≈0.9", frac)
+	}
+}
+
+func TestIndependenceBreaksCorrelatedQueries(t *testing.T) {
+	// Two perfectly correlated columns: the independence model must get
+	// single-column constraints right but miss the conjunction badly —
+	// the paper's Limitation 1.
+	c1 := relation.NewColumn("x", relation.Categorical, 2)
+	c2 := relation.NewColumn("y", relation.Categorical, 2)
+	for i := 0; i < 1000; i++ {
+		v := int32(i % 2)
+		c1.Append(v)
+		c2.Append(v)
+	}
+	s := relation.MustSchema(relation.NewTable("t", c1, c2))
+	queries := []workload.Query{
+		{Tables: []string{"t"}, Preds: []workload.Predicate{{Table: "t", Column: "x", Op: workload.EQ, Code: 0}}},
+		{Tables: []string{"t"}, Preds: []workload.Predicate{{Table: "t", Column: "y", Op: workload.EQ, Code: 0}}},
+	}
+	wl := &workload.Workload{Queries: engine.Label(s, queries)}
+	m, err := Train(s, wl, map[string]int{"t": 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := m.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := workload.Query{Tables: []string{"t"}, Preds: []workload.Predicate{
+		{Table: "t", Column: "x", Op: workload.EQ, Code: 0},
+		{Table: "t", Column: "y", Op: workload.EQ, Code: 1},
+	}}
+	// Truth: impossible combination (x == y always), card 0. Independence
+	// predicts ~250.
+	got := engine.Card(gen, &conj)
+	if got < 150 {
+		t.Fatalf("independence model should hallucinate the impossible combo, got %d", got)
+	}
+}
+
+func TestGeneratedSchemaValidAndSized(t *testing.T) {
+	orig := datagen.IMDB(5, 150)
+	rng := rand.New(rand.NewSource(4))
+	queries := workload.GenerateMultiRelation(rng, orig, 60, workload.DefaultMultiRelationOptions())
+	wl := &workload.Workload{Queries: engine.Label(orig, queries)}
+	sizes := map[string]int{}
+	for _, tab := range orig.Tables {
+		sizes[tab.Name] = tab.NumRows()
+	}
+	m, err := Train(orig, wl, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := m.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range orig.Tables {
+		if gen.Table(tab.Name).NumRows() != tab.NumRows() {
+			t.Fatalf("table %s size mismatch", tab.Name)
+		}
+	}
+	// Sanity: single-column marginal constraints are roughly honored.
+	var qe []float64
+	for i := range wl.Queries {
+		if len(wl.Queries[i].Preds) != 1 || len(wl.Queries[i].Tables) != 1 {
+			continue
+		}
+		got := engine.Card(gen, &wl.Queries[i].Query)
+		qe = append(qe, metrics.QError(float64(got), float64(wl.Queries[i].Card)))
+	}
+	if len(qe) > 3 {
+		if sum := metrics.Summarize(qe); sum.Median > 4 {
+			t.Fatalf("single-predicate fidelity too poor: %v", sum)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package join
+
+import "sam/internal/relation"
+
+// EnumerateFOJ materializes every full-outer-join tuple of the oracle's
+// database in model-code space, returned as a flat buffer of
+// FOJSize() × NumCols() codes. Intended for small schemas (tests, exact
+// recovery demonstrations); real generation samples instead.
+func (o *Oracle) EnumerateFOJ() []int32 {
+	ncols := o.L.NumCols()
+	total := int(o.FOJSize())
+	out := make([]int32, 0, total*ncols)
+	cur := make([]int32, ncols)
+	s := o.L.Schema
+	root := s.Roots()[0]
+	for r := 0; r < root.NumRows(); r++ {
+		out = o.enumerateTable(out, cur, root.Name, r)
+	}
+	return out
+}
+
+// enumerateTable fills table row r into cur and expands the cartesian
+// product of its children's joining rows (NULL when none), appending
+// completed tuples when the last sibling closes. The recursion mirrors
+// fillTable but explores every branch.
+func (o *Oracle) enumerateTable(out []int32, cur []int32, table string, r int) []int32 {
+	s := o.L.Schema
+	t := s.Table(table)
+	for _, c := range t.Cols {
+		cur[o.L.ContentIndex(table, c.Name)] = c.Data[r]
+	}
+	children := s.Children(table)
+	return o.enumerateChildren(out, cur, t.PK(r), children, 0)
+}
+
+func (o *Oracle) enumerateChildren(out []int32, cur []int32, pk int64, children []*relation.Table, ci int) []int32 {
+	if ci == len(children) {
+		return append(out, cur...)
+	}
+	child := children[ci]
+	fidx, _ := o.L.FanoutIndex(child.Name)
+	rows := o.rowsByKey[child.Name][pk]
+	if len(rows) == 0 {
+		o.fillNull(cur, child.Name)
+		return o.enumerateChildren(out, cur, pk, children, ci+1)
+	}
+	cur[fidx] = int32(o.L.FanoutCode(child.Name, o.fanout[child.Name][pk]))
+	for _, rr := range rows {
+		// Recurse into this child row's own subtree, then continue with
+		// the remaining siblings for every completed assignment.
+		out = o.enumerateChildRow(out, cur, pk, children, ci, int(rr))
+	}
+	return out
+}
+
+// enumerateChildRow fixes one row of children[ci] and expands that child's
+// own children before moving to the next sibling.
+func (o *Oracle) enumerateChildRow(out []int32, cur []int32, pk int64, children []*relation.Table, ci int, r int) []int32 {
+	s := o.L.Schema
+	child := children[ci]
+	for _, c := range child.Cols {
+		cur[o.L.ContentIndex(child.Name, c.Name)] = c.Data[r]
+	}
+	grand := s.Children(child.Name)
+	if len(grand) == 0 {
+		return o.enumerateChildren(out, cur, pk, children, ci+1)
+	}
+	// Expand the grandchildren fully; for each completed grandchild
+	// assignment, continue with the remaining siblings of children[ci].
+	// We achieve this by enumerating the grandchildren into a temporary
+	// set of prefixes.
+	prefixes := o.enumerateChildren(nil, cur, child.PK(r), grand, 0)
+	ncols := o.L.NumCols()
+	tmp := make([]int32, ncols)
+	for p := 0; p+ncols <= len(prefixes); p += ncols {
+		copy(tmp, prefixes[p:p+ncols])
+		out = o.enumerateChildrenWith(out, tmp, pk, children, ci+1)
+	}
+	return out
+}
+
+// enumerateChildrenWith continues sibling expansion on an explicit buffer.
+func (o *Oracle) enumerateChildrenWith(out []int32, cur []int32, pk int64, children []*relation.Table, ci int) []int32 {
+	return o.enumerateChildren(out, cur, pk, children, ci)
+}

@@ -1,0 +1,162 @@
+// Package metrics implements the paper's evaluation metrics: Q-Error with
+// the usual percentile summaries (median/75th/90th/mean/max), the cross
+// entropy between the original and generated relations (Eq. 1), and the
+// performance deviation of query latencies (Tables 8–9).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sam/internal/relation"
+)
+
+// QError returns max(est/truth, truth/est) with both arguments floored at 1
+// (the cardinality-estimation convention for handling zeros; Moerkotte et
+// al., PVLDB'09).
+func QError(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// Summary aggregates a metric sample the way the paper's tables do.
+type Summary struct {
+	Median float64
+	P75    float64
+	P90    float64
+	Mean   float64
+	Max    float64
+}
+
+// Summarize computes the summary of xs (which it sorts in place). It panics
+// on empty input: every experiment must produce at least one measurement.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("metrics: Summarize of empty sample")
+	}
+	sort.Float64s(xs)
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return Summary{
+		Median: Percentile(xs, 0.50),
+		P75:    Percentile(xs, 0.75),
+		P90:    Percentile(xs, 0.90),
+		Mean:   sum / float64(len(xs)),
+		Max:    xs[len(xs)-1],
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// slice using linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("metrics: Percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("median=%.4g p75=%.4g p90=%.4g mean=%.4g max=%.4g",
+		s.Median, s.P75, s.P90, s.Mean, s.Max)
+}
+
+// tupleKey serializes a row of codes into a compact map key.
+func tupleKey(codes []int32) string {
+	buf := make([]byte, 0, len(codes)*4)
+	for _, c := range codes {
+		buf = append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return string(buf)
+}
+
+// CrossEntropyBits computes H(T, T̂) = −E_{x∼T}[log₂ Sel̂(x)] (Eq. 1): the
+// expected negative log selectivity, under the generated relation, of
+// tuples drawn from the original relation. In high-dimensional relations
+// most tuples are unique, so exact-match selectivity alone would be
+// infinite for every miss; a missing tuple instead falls back to the
+// product of the generated relation's smoothed per-column marginals — a
+// back-off that keeps the metric finite, sensitive to how close the
+// generated distribution is, and on the same scale the paper reports.
+func CrossEntropyBits(orig, gen *relation.Table) float64 {
+	if len(orig.Cols) != len(gen.Cols) {
+		panic("metrics: cross entropy over mismatched schemas")
+	}
+	genN := gen.NumRows()
+	if genN == 0 || orig.NumRows() == 0 {
+		panic("metrics: cross entropy over empty relation")
+	}
+	counts := make(map[string]int, genN)
+	row := make([]int32, len(gen.Cols))
+	marginals := make([][]float64, len(gen.Cols))
+	for j, c := range gen.Cols {
+		marginals[j] = make([]float64, c.NumValues)
+	}
+	for i := 0; i < genN; i++ {
+		for j, c := range gen.Cols {
+			row[j] = c.Data[i]
+			marginals[j][c.Data[i]]++
+		}
+		counts[tupleKey(row)]++
+	}
+	// Additive smoothing: every marginal cell gets 1/2 pseudo-count.
+	for j := range marginals {
+		total := float64(genN) + 0.5*float64(len(marginals[j]))
+		for v := range marginals[j] {
+			marginals[j][v] = (marginals[j][v] + 0.5) / total
+		}
+	}
+	var h float64
+	n := orig.NumRows()
+	for i := 0; i < n; i++ {
+		for j, c := range orig.Cols {
+			row[j] = c.Data[i]
+		}
+		if cnt := counts[tupleKey(row)]; cnt > 0 {
+			h += -math.Log2(float64(cnt) / float64(genN))
+		} else {
+			var logp float64
+			for j := range row {
+				logp += math.Log2(marginals[j][row[j]])
+			}
+			h += -logp
+		}
+	}
+	return h / float64(n)
+}
+
+// Deviations returns |a_i − b_i| in milliseconds for paired latency samples
+// expressed in nanoseconds — the per-query performance deviation.
+func Deviations(origNanos, genNanos []int64) []float64 {
+	if len(origNanos) != len(genNanos) {
+		panic("metrics: Deviations over unpaired samples")
+	}
+	out := make([]float64, len(origNanos))
+	for i := range origNanos {
+		out[i] = math.Abs(float64(genNanos[i]-origNanos[i])) / 1e6
+	}
+	return out
+}

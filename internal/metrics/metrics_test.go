@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sam/internal/relation"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct{ est, truth, want float64 }{
+		{10, 10, 1},
+		{20, 10, 2},
+		{10, 20, 2},
+		{0, 10, 10}, // floored at 1
+		{10, 0, 10},
+		{0, 0, 1},
+	}
+	for i, c := range cases {
+		if got := QError(c.est, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("case %d: QError = %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestQErrorQuickProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		est, truth := float64(a), float64(b)
+		q := QError(est, truth)
+		if q < 1 {
+			return false
+		}
+		// Symmetry.
+		return QError(truth, est) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.Median != 3 || s.Max != 5 || s.Mean != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.P75 != 4 || s.P90 != 4.6 {
+		t.Fatalf("percentiles %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 4 {
+		t.Fatal("edge percentiles broken")
+	}
+	if got := Percentile(xs, 0.5); got != 2.5 {
+		t.Fatalf("median of even-sized slice: %v", got)
+	}
+	one := []float64{7}
+	if Percentile(one, 0.9) != 7 {
+		t.Fatal("singleton percentile broken")
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func mkTable(rows [][]int32, domains []int) *relation.Table {
+	cols := make([]*relation.Column, len(domains))
+	for j, d := range domains {
+		cols[j] = relation.NewColumn(string(rune('a'+j)), relation.Categorical, d)
+	}
+	for _, r := range rows {
+		for j := range domains {
+			cols[j].Append(r[j])
+		}
+	}
+	return relation.NewTable("t", cols...)
+}
+
+func TestCrossEntropyIdenticalTables(t *testing.T) {
+	rows := [][]int32{{0, 1}, {1, 0}, {0, 1}, {1, 1}}
+	a := mkTable(rows, []int{2, 2})
+	b := mkTable(rows, []int{2, 2})
+	h := CrossEntropyBits(a, b)
+	// Self cross-entropy equals the empirical entropy: tuples (0,1)×2,
+	// (1,0), (1,1): H = -(2/4·log2(2/4) + 2·(1/4·log2(1/4))) = 1.5 bits.
+	if math.Abs(h-1.5) > 1e-9 {
+		t.Fatalf("self cross entropy %v want 1.5", h)
+	}
+}
+
+func TestCrossEntropyPenalizesMisses(t *testing.T) {
+	orig := mkTable([][]int32{{0, 0}, {1, 1}}, []int{2, 2})
+	close := mkTable([][]int32{{0, 0}, {1, 1}}, []int{2, 2})
+	far := mkTable([][]int32{{0, 1}, {1, 0}}, []int{2, 2})
+	hClose := CrossEntropyBits(orig, close)
+	hFar := CrossEntropyBits(orig, far)
+	if hFar <= hClose {
+		t.Fatalf("misses not penalized: close %v far %v", hClose, hFar)
+	}
+}
+
+func TestCrossEntropyMismatchedSchemasPanics(t *testing.T) {
+	a := mkTable([][]int32{{0}}, []int{2})
+	b := mkTable([][]int32{{0, 0}}, []int{2, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CrossEntropyBits(a, b)
+}
+
+func TestDeviations(t *testing.T) {
+	orig := []int64{1_000_000, 5_000_000}
+	gen := []int64{3_000_000, 4_000_000}
+	d := Deviations(orig, gen)
+	if d[0] != 2 || d[1] != 1 {
+		t.Fatalf("deviations %v", d)
+	}
+}
+
+func TestDeviationsUnpairedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Deviations([]int64{1}, []int64{1, 2})
+}

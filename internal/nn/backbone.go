@@ -1,0 +1,54 @@
+package nn
+
+import "sam/internal/tensor"
+
+// Backbone is an autoregressive network over grouped categorical columns:
+// column i occupies a contiguous block of one-hot input units and the same
+// block of output logits, and the logits of column i depend only on the
+// inputs of columns < i. MADE and Transformer both implement it; the SAM
+// model is architecture-agnostic (§4.1: "SAM can be instantiated by any
+// learning-based AR architecture").
+type Backbone interface {
+	// InDim is the total one-hot width (Σ column domain sizes).
+	InDim() int
+	// NumCols is the number of modeled columns.
+	NumCols() int
+	// ColSizes returns the per-column domain sizes (not to be mutated).
+	ColSizes() []int
+	// Offsets returns each column block's start offset (not to be mutated).
+	Offsets() []int
+	// Forward runs a batched autodiff pass: batch×InDim in, batch×InDim
+	// logits out.
+	Forward(g *tensor.Graph, x *tensor.Node) *tensor.Node
+	// ColLogits slices column i's logits out of a full output row.
+	ColLogits(out []float64, i int) []float64
+	// NewInference allocates per-goroutine scratch for the fast
+	// no-autodiff path.
+	NewInference() Inference
+	// Params returns all trainable tensors.
+	Params() []*tensor.Tensor
+	// OutputBias returns the output layer's bias (1×InDim), used to
+	// install priors on specific column blocks.
+	OutputBias() *tensor.Tensor
+}
+
+// Inference is the allocation-free single-row forward pass used by the
+// embarrassingly parallel sampling phase. Not safe for concurrent use;
+// create one per goroutine.
+type Inference interface {
+	// X returns the reusable input row (length InDim); callers zero and
+	// fill it between calls.
+	X() []float64
+	// Forward computes the full logits row for the current X. The result
+	// is owned by the Inference and valid until the next call.
+	Forward() []float64
+}
+
+// NumParams returns the total scalar parameter count of a backbone.
+func NumParams(b Backbone) int {
+	var n int
+	for _, p := range b.Params() {
+		n += len(p.Data)
+	}
+	return n
+}

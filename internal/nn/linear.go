@@ -1,0 +1,81 @@
+// Package nn provides the neural-network building blocks SAM trains:
+// (masked) linear layers, the MADE masked autoencoder used as the
+// autoregressive backbone, and the Adam optimizer. Everything runs on the
+// internal/tensor autodiff engine; a separate allocation-free inference path
+// supports the embarrassingly parallel sampling phase.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sam/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·W + b with W of shape in×out.
+type Linear struct {
+	W *tensor.Tensor // in×out
+	B *tensor.Tensor // 1×out
+}
+
+// NewLinear returns a Glorot-initialized layer.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{W: tensor.New(in, out), B: tensor.New(1, out)}
+	l.W.XavierInit(rng, in, out)
+	return l
+}
+
+// Forward applies the layer on the autodiff graph.
+func (l *Linear) Forward(g *tensor.Graph, x *tensor.Node) *tensor.Node {
+	return g.AddRow(g.MatMul(x, g.Param(l.W)), g.Param(l.B))
+}
+
+// Params returns the trainable tensors of the layer.
+func (l *Linear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// MaskedLinear is a linear layer whose weight matrix is elementwise gated by
+// a fixed binary mask — the mechanism MADE uses to enforce autoregressive
+// structure.
+type MaskedLinear struct {
+	W    *tensor.Tensor // in×out
+	B    *tensor.Tensor // 1×out
+	Mask *tensor.Tensor // in×out, 0/1, fixed
+}
+
+// NewMaskedLinear returns a Glorot-initialized masked layer. The mask is
+// retained by reference and must not be mutated afterwards.
+func NewMaskedLinear(rng *rand.Rand, in, out int, mask *tensor.Tensor) *MaskedLinear {
+	if mask.Rows != in || mask.Cols != out {
+		panic(fmt.Sprintf("nn: mask shape %v does not match layer %d×%d", mask, in, out))
+	}
+	l := &MaskedLinear{W: tensor.New(in, out), B: tensor.New(1, out), Mask: mask}
+	l.W.XavierInit(rng, in, out)
+	return l
+}
+
+// Forward applies the masked layer on the autodiff graph.
+func (l *MaskedLinear) Forward(g *tensor.Graph, x *tensor.Node) *tensor.Node {
+	w := g.MulConst(g.Param(l.W), l.Mask)
+	return g.AddRow(g.MatMul(x, w), g.Param(l.B))
+}
+
+// Params returns the trainable tensors of the layer.
+func (l *MaskedLinear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// forwardInto computes one row without autodiff: out = relu? no — plain
+// affine. x has length in, out has length out.
+func (l *MaskedLinear) forwardInto(out, x []float64) {
+	in, cols := l.W.Rows, l.W.Cols
+	copy(out, l.B.Data)
+	for k := 0; k < in; k++ {
+		xv := x[k]
+		if xv == 0 {
+			continue
+		}
+		wrow := l.W.Data[k*cols : (k+1)*cols]
+		mrow := l.Mask.Data[k*cols : (k+1)*cols]
+		for j, wv := range wrow {
+			out[j] += xv * wv * mrow[j]
+		}
+	}
+}

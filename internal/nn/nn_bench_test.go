@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"sam/internal/tensor"
+)
+
+// BenchmarkMADEForwardAutodiff measures a training-style batched forward
+// pass (the inner loop of DPS training).
+func BenchmarkMADEForwardAutodiff(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	colSizes := []int{64, 32, 16, 128, 8, 4, 50}
+	m := NewMADE(rng, colSizes, 64, 2)
+	x := tensor.New(32, m.InDim())
+	x.Randn(rng, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := tensor.NewGraph()
+		out := m.Forward(g, g.Const(x))
+		loss := g.Mean(g.Square(out))
+		g.Backward(loss)
+	}
+}
+
+// BenchmarkMADEForwardInfer measures the allocation-free sampling path
+// (the inner loop of database generation).
+func BenchmarkMADEForwardInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	colSizes := []int{64, 32, 16, 128, 8, 4, 50}
+	m := NewMADE(rng, colSizes, 64, 2)
+	buf := m.NewInference()
+	for i := range buf.X() {
+		if rng.Float64() < 0.05 {
+			buf.X()[i] = 1
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Forward()
+	}
+}
+
+// BenchmarkAdamStep measures one optimizer step over a realistic parameter
+// set.
+func BenchmarkAdamStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMADE(rng, []int{64, 32, 16, 128}, 64, 2)
+	opt := NewAdam(1e-3)
+	var pairs []GradPair
+	for _, p := range m.Params() {
+		g := tensor.New(p.Rows, p.Cols)
+		g.Randn(rng, 0.01)
+		pairs = append(pairs, GradPair{Param: p, Grad: g})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(pairs)
+	}
+}

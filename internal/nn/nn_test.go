@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sam/internal/tensor"
+)
+
+func TestLinearForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 4, 3)
+	g := tensor.NewGraph()
+	x := tensor.New(2, 4)
+	x.Randn(rng, 1)
+	y := l.Forward(g, g.Const(x))
+	if y.Val.Rows != 2 || y.Val.Cols != 3 {
+		t.Fatalf("bad output shape %v", y.Val)
+	}
+}
+
+func TestMaskedLinearZeroMaskBlocksSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mask := tensor.New(3, 2) // all zero
+	l := NewMaskedLinear(rng, 3, 2, mask)
+	g := tensor.NewGraph()
+	x := tensor.New(1, 3)
+	x.Fill(5)
+	y := l.Forward(g, g.Const(x))
+	for j := 0; j < 2; j++ {
+		if y.Val.At(0, j) != l.B.Data[j] {
+			t.Fatalf("masked-out weight leaked signal")
+		}
+	}
+}
+
+func TestMADEAutoregressiveProperty(t *testing.T) {
+	// Perturbing the one-hot block of column j must not change the logits of
+	// any column i ≤ j.
+	rng := rand.New(rand.NewSource(3))
+	colSizes := []int{3, 4, 2, 5}
+	m := NewMADE(rng, colSizes, 16, 2)
+	buf := m.NewInference()
+
+	base := make([]float64, m.InDim())
+	for i, off := range m.Offsets() {
+		base[off+rng.Intn(colSizes[i])] = 1
+	}
+	copy(buf.X(), base)
+	out0 := append([]float64(nil), buf.Forward()...)
+
+	for j := 0; j < len(colSizes); j++ {
+		perturbed := append([]float64(nil), base...)
+		for k := 0; k < colSizes[j]; k++ {
+			perturbed[m.Offsets()[j]+k] = rng.Float64()*2 - 1
+		}
+		copy(buf.X(), perturbed)
+		out1 := buf.Forward()
+		for i := 0; i <= j; i++ {
+			a := m.ColLogits(out0, i)
+			b := m.ColLogits(out1, i)
+			for k := range a {
+				if math.Abs(a[k]-b[k]) > 1e-12 {
+					t.Fatalf("column %d logits depend on column %d input", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMADEFirstColumnUnconditional(t *testing.T) {
+	// Column 0 logits must be constant regardless of the entire input.
+	rng := rand.New(rand.NewSource(4))
+	m := NewMADE(rng, []int{3, 3}, 8, 2)
+	buf := m.NewInference()
+	copy(buf.X(), make([]float64, m.InDim()))
+	a := append([]float64(nil), m.ColLogits(buf.Forward(), 0)...)
+	for i := range buf.X() {
+		buf.X()[i] = rng.Float64()
+	}
+	b := m.ColLogits(buf.Forward(), 0)
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > 1e-12 {
+			t.Fatal("column 0 logits are input-dependent")
+		}
+	}
+}
+
+func TestMADEInferMatchesAutodiffForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	colSizes := []int{2, 3, 4}
+	m := NewMADE(rng, colSizes, 12, 2)
+	x := tensor.New(1, m.InDim())
+	for i, off := range m.Offsets() {
+		x.Set(0, off+rng.Intn(colSizes[i]), 1)
+	}
+	g := tensor.NewGraph()
+	outG := m.Forward(g, g.Const(x))
+	buf := m.NewInference()
+	copy(buf.X(), x.Data)
+	outI := buf.Forward()
+	for i := range outI {
+		if math.Abs(outI[i]-outG.Val.Data[i]) > 1e-10 {
+			t.Fatalf("infer/autodiff mismatch at %d: %v vs %v", i, outI[i], outG.Val.Data[i])
+		}
+	}
+}
+
+func TestMADESingleColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMADE(rng, []int{5}, 8, 1)
+	buf := m.NewInference()
+	out := buf.Forward()
+	if len(m.ColLogits(out, 0)) != 5 {
+		t.Fatal("bad single-column logits")
+	}
+}
+
+func TestMADEPanicsOnBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, fn := range []func(){
+		func() { NewMADE(rng, nil, 8, 1) },
+		func() { NewMADE(rng, []int{2, 0}, 8, 1) },
+		func() { NewMADE(rng, []int{2}, 0, 1) },
+		func() { NewMADE(rng, []int{2}, 8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	// Minimize ‖W − target‖² — Adam should get close quickly.
+	rng := rand.New(rand.NewSource(8))
+	w := tensor.New(1, 4)
+	w.Randn(rng, 1)
+	target := tensor.FromSlice(1, 4, []float64{1, -2, 3, 0.5})
+	opt := NewAdam(0.05)
+	for step := 0; step < 500; step++ {
+		g := tensor.NewGraph()
+		p := g.Param(w)
+		diff := g.Sub(p, g.Const(target))
+		loss := g.Mean(g.Square(diff))
+		g.Backward(loss)
+		opt.Step([]GradPair{{Param: w, Grad: g.ParamGrad(w)}})
+	}
+	for i := range w.Data {
+		if math.Abs(w.Data[i]-target.Data[i]) > 1e-2 {
+			t.Fatalf("Adam did not converge: %v vs %v", w.Data, target.Data)
+		}
+	}
+	if opt.StepCount() != 500 {
+		t.Fatalf("step count %d", opt.StepCount())
+	}
+}
+
+func TestAdamGradientClipping(t *testing.T) {
+	w := tensor.FromSlice(1, 2, []float64{0, 0})
+	grad := tensor.FromSlice(1, 2, []float64{3e6, 4e6})
+	opt := NewAdam(0.1)
+	opt.ClipMax = 5
+	opt.Step([]GradPair{{Param: w, Grad: grad}})
+	norm := math.Hypot(grad.Data[0], grad.Data[1])
+	if math.Abs(norm-5) > 1e-9 {
+		t.Fatalf("clipped norm %v", norm)
+	}
+}
+
+func TestMADETrainsSimpleDistribution(t *testing.T) {
+	// End-to-end sanity: train a 2-column MADE by maximum likelihood on a
+	// deterministic pattern (x2 == x1) and check the learned conditionals.
+	rng := rand.New(rand.NewSource(9))
+	colSizes := []int{2, 2}
+	m := NewMADE(rng, colSizes, 16, 2)
+	opt := NewAdam(0.05)
+
+	samples := [][2]int{{0, 0}, {1, 1}, {0, 0}, {1, 1}}
+	for epoch := 0; epoch < 300; epoch++ {
+		g := tensor.NewGraph()
+		x := tensor.New(len(samples), m.InDim())
+		for r, s := range samples {
+			x.Set(r, m.Offsets()[0]+s[0], 1)
+			x.Set(r, m.Offsets()[1]+s[1], 1)
+		}
+		out := m.Forward(g, g.Const(x))
+		// NLL of column 2 given column 1: the mask selects the true value.
+		col2 := g.SliceCols(out, m.Offsets()[1], colSizes[1])
+		mask2 := tensor.New(len(samples), colSizes[1])
+		for r, s := range samples {
+			mask2.Set(r, s[1], 1)
+		}
+		p := g.RangeProb(col2, mask2)
+		loss := g.Scale(g.Mean(g.Log(p)), -1)
+		g.Backward(loss)
+		var pairs []GradPair
+		for _, param := range m.Params() {
+			pairs = append(pairs, GradPair{Param: param, Grad: g.ParamGrad(param)})
+		}
+		opt.Step(pairs)
+	}
+
+	// Check P(x2 = v | x1 = v) is high for v in {0, 1}.
+	buf := m.NewInference()
+	for v := 0; v < 2; v++ {
+		for i := range buf.X() {
+			buf.X()[i] = 0
+		}
+		buf.X()[m.Offsets()[0]+v] = 1
+		out := buf.Forward()
+		logits := m.ColLogits(out, 1)
+		probs := make([]float64, 2)
+		tensor.SoftmaxRowInto(probs, logits)
+		if probs[v] < 0.9 {
+			t.Fatalf("P(x2=%d|x1=%d) = %v, want > 0.9", v, v, probs[v])
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sam/internal/tensor"
+)
+
+// Transformer is a causal (decoder-only) transformer over grouped
+// categorical columns — the paper's alternative autoregressive backbone
+// (§4.1 instantiates SAM "by any learning-based AR architecture (e.g.,
+// MADE and Transformer)"). Column values become a token sequence shifted
+// right behind a start-of-sequence token; position i's output produces the
+// logits of column i, and the causal attention mask guarantees it depends
+// only on columns < i.
+type Transformer struct {
+	colSizes []int
+	offsets  []int
+	inDim    int
+
+	dModel int
+	heads  int
+	dk     int
+	ff     int
+
+	wEmb *tensor.Tensor // inDim × dModel (per-value embeddings)
+	sos  *tensor.Tensor // 1 × dModel
+	pos  *tensor.Tensor // numCols × dModel
+
+	layers []*transformerLayer
+
+	lnFGain, lnFBias *tensor.Tensor
+	wOut             *tensor.Tensor // dModel × inDim
+	bOut             *tensor.Tensor // 1 × inDim
+
+	causal *tensor.Tensor // numCols × numCols additive mask (0 / −1e30)
+}
+
+var _ Backbone = (*Transformer)(nil)
+
+type transformerLayer struct {
+	ln1Gain, ln1Bias *tensor.Tensor
+	wq, wk, wv, wo   *tensor.Tensor // dModel × dModel
+	ln2Gain, ln2Bias *tensor.Tensor
+	w1               *tensor.Tensor // dModel × ff
+	b1               *tensor.Tensor // 1 × ff
+	w2               *tensor.Tensor // ff × dModel
+	b2               *tensor.Tensor // 1 × dModel
+}
+
+// NewTransformer constructs a pre-norm causal transformer with the given
+// model width, head count, feed-forward width and layer count.
+func NewTransformer(rng *rand.Rand, colSizes []int, dModel, heads, ffDim, numLayers int) *Transformer {
+	n := len(colSizes)
+	if n == 0 {
+		panic("nn: Transformer needs at least one column")
+	}
+	if dModel <= 0 || heads <= 0 || dModel%heads != 0 || ffDim <= 0 || numLayers <= 0 {
+		panic(fmt.Sprintf("nn: bad transformer config d=%d h=%d ff=%d L=%d", dModel, heads, ffDim, numLayers))
+	}
+	t := &Transformer{
+		colSizes: append([]int(nil), colSizes...),
+		dModel:   dModel,
+		heads:    heads,
+		dk:       dModel / heads,
+		ff:       ffDim,
+	}
+	t.offsets = make([]int, n)
+	for i, s := range colSizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: column %d has nonpositive domain %d", i, s))
+		}
+		t.offsets[i] = t.inDim
+		t.inDim += s
+	}
+
+	newT := func(r, c int, std float64) *tensor.Tensor {
+		m := tensor.New(r, c)
+		m.Randn(rng, std)
+		return m
+	}
+	ones := func(c int) *tensor.Tensor {
+		m := tensor.New(1, c)
+		m.Fill(1)
+		return m
+	}
+	std := 1 / math.Sqrt(float64(dModel))
+	t.wEmb = newT(t.inDim, dModel, std)
+	t.sos = newT(1, dModel, std)
+	t.pos = newT(n, dModel, std)
+	for l := 0; l < numLayers; l++ {
+		t.layers = append(t.layers, &transformerLayer{
+			ln1Gain: ones(dModel), ln1Bias: tensor.New(1, dModel),
+			wq: newT(dModel, dModel, std), wk: newT(dModel, dModel, std),
+			wv: newT(dModel, dModel, std), wo: newT(dModel, dModel, std),
+			ln2Gain: ones(dModel), ln2Bias: tensor.New(1, dModel),
+			w1: newT(dModel, ffDim, std), b1: tensor.New(1, ffDim),
+			w2: newT(ffDim, dModel, 1/math.Sqrt(float64(ffDim))), b2: tensor.New(1, dModel),
+		})
+	}
+	t.lnFGain = ones(dModel)
+	t.lnFBias = tensor.New(1, dModel)
+	t.wOut = newT(dModel, t.inDim, std)
+	t.bOut = tensor.New(1, t.inDim)
+
+	t.causal = tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t.causal.Set(i, j, -1e30)
+		}
+	}
+	return t
+}
+
+// InDim returns the total one-hot input width.
+func (t *Transformer) InDim() int { return t.inDim }
+
+// NumCols returns the number of modeled columns.
+func (t *Transformer) NumCols() int { return len(t.colSizes) }
+
+// ColSizes returns the per-column domain sizes.
+func (t *Transformer) ColSizes() []int { return t.colSizes }
+
+// Offsets returns each column block's start offset.
+func (t *Transformer) Offsets() []int { return t.offsets }
+
+// OutputBias returns the output projection bias (1×InDim).
+func (t *Transformer) OutputBias() *tensor.Tensor { return t.bOut }
+
+// ColLogits slices the logits of column i out of a full output row.
+func (t *Transformer) ColLogits(out []float64, i int) []float64 {
+	return out[t.offsets[i] : t.offsets[i]+t.colSizes[i]]
+}
+
+// Params returns all trainable tensors.
+func (t *Transformer) Params() []*tensor.Tensor {
+	ps := []*tensor.Tensor{t.wEmb, t.sos, t.pos}
+	for _, l := range t.layers {
+		ps = append(ps,
+			l.ln1Gain, l.ln1Bias, l.wq, l.wk, l.wv, l.wo,
+			l.ln2Gain, l.ln2Bias, l.w1, l.b1, l.w2, l.b2)
+	}
+	ps = append(ps, t.lnFGain, t.lnFBias, t.wOut, t.bOut)
+	return ps
+}
+
+// Forward runs the batched autodiff pass. Samples are independent token
+// sequences, processed one per batch row and re-stacked.
+func (t *Transformer) Forward(g *tensor.Graph, x *tensor.Node) *tensor.Node {
+	rows := make([]*tensor.Node, x.Val.Rows)
+	for b := 0; b < x.Val.Rows; b++ {
+		rows[b] = t.forwardOne(g, g.SliceRows(x, b, 1))
+	}
+	if len(rows) == 1 {
+		return rows[0]
+	}
+	return g.ConcatRows(rows...)
+}
+
+// forwardOne computes the 1×InDim logits of one sample (1×InDim input).
+func (t *Transformer) forwardOne(g *tensor.Graph, x *tensor.Node) *tensor.Node {
+	n := len(t.colSizes)
+	wEmb := g.Param(t.wEmb)
+	// Token sequence: SOS, then embeddings of columns 0..n−2, plus
+	// positional embeddings.
+	tokens := make([]*tensor.Node, n)
+	tokens[0] = g.Param(t.sos)
+	for i := 1; i < n; i++ {
+		blk := g.SliceCols(x, t.offsets[i-1], t.colSizes[i-1])
+		emb := g.MatMul(blk, g.SliceRows(wEmb, t.offsets[i-1], t.colSizes[i-1]))
+		tokens[i] = emb
+	}
+	var seq *tensor.Node
+	if n == 1 {
+		seq = tokens[0]
+	} else {
+		seq = g.ConcatRows(tokens...)
+	}
+	hn := g.Add(seq, g.Param(t.pos))
+
+	scale := 1 / math.Sqrt(float64(t.dk))
+	for _, l := range t.layers {
+		// Pre-norm attention block.
+		a := g.LayerNorm(hn, g.Param(l.ln1Gain), g.Param(l.ln1Bias), 1e-5)
+		q := g.MatMul(a, g.Param(l.wq))
+		k := g.MatMul(a, g.Param(l.wk))
+		v := g.MatMul(a, g.Param(l.wv))
+		headOuts := make([]*tensor.Node, t.heads)
+		for hd := 0; hd < t.heads; hd++ {
+			qh := g.SliceCols(q, hd*t.dk, t.dk)
+			kh := g.SliceCols(k, hd*t.dk, t.dk)
+			vh := g.SliceCols(v, hd*t.dk, t.dk)
+			scores := g.AddConst(g.Scale(g.MatMulTB(qh, kh), scale), t.causal)
+			probs := g.SoftmaxRows(scores)
+			headOuts[hd] = g.MatMul(probs, vh)
+		}
+		var ctx *tensor.Node
+		if t.heads == 1 {
+			ctx = headOuts[0]
+		} else {
+			ctx = g.ConcatCols(headOuts...)
+		}
+		hn = g.Add(hn, g.MatMul(ctx, g.Param(l.wo)))
+
+		// Pre-norm feed-forward block.
+		f := g.LayerNorm(hn, g.Param(l.ln2Gain), g.Param(l.ln2Bias), 1e-5)
+		f = g.AddRow(g.MatMul(f, g.Param(l.w1)), g.Param(l.b1))
+		f = g.ReLU(f)
+		f = g.AddRow(g.MatMul(f, g.Param(l.w2)), g.Param(l.b2))
+		hn = g.Add(hn, f)
+	}
+	hn = g.LayerNorm(hn, g.Param(t.lnFGain), g.Param(t.lnFBias), 1e-5)
+	logits := g.AddRow(g.MatMul(hn, g.Param(t.wOut)), g.Param(t.bOut)) // n × inDim
+
+	// Gather: column i's logits come from token row i.
+	parts := make([]*tensor.Node, n)
+	for i := 0; i < n; i++ {
+		parts[i] = g.SliceCols(g.SliceRows(logits, i, 1), t.offsets[i], t.colSizes[i])
+	}
+	if n == 1 {
+		return parts[0]
+	}
+	return g.ConcatCols(parts...)
+}

@@ -1,0 +1,224 @@
+package nn
+
+import "math"
+
+// transformerInference is the allocation-free single-row forward pass of a
+// Transformer. It mirrors Forward exactly (pre-norm blocks, causal
+// attention, shifted tokens) on plain float64 buffers.
+type transformerInference struct {
+	t *Transformer
+	x []float64 // inDim input row
+
+	seq    [][]float64 // n × dModel working sequence
+	normed [][]float64 // n × dModel layer-norm scratch
+	q      [][]float64
+	k      [][]float64
+	v      [][]float64
+	ctx    [][]float64
+	ffBuf  []float64
+	scores []float64 // one row of attention scores
+	out    []float64 // inDim logits
+}
+
+// NewInference allocates scratch sized for t.
+func (t *Transformer) NewInference() Inference {
+	n := len(t.colSizes)
+	mk := func() [][]float64 {
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, t.dModel)
+		}
+		return m
+	}
+	return &transformerInference{
+		t:      t,
+		x:      make([]float64, t.inDim),
+		seq:    mk(),
+		normed: mk(),
+		q:      mk(),
+		k:      mk(),
+		v:      mk(),
+		ctx:    mk(),
+		ffBuf:  make([]float64, t.ff),
+		scores: make([]float64, n),
+		out:    make([]float64, t.inDim),
+	}
+}
+
+// X returns the reusable input row.
+func (b *transformerInference) X() []float64 { return b.x }
+
+// affine computes dst = src·W + add (add may be nil), for one row.
+func affine(dst, src []float64, w *tensorDense, add []float64) {
+	cols := w.cols
+	if add != nil {
+		copy(dst, add)
+	} else {
+		for j := range dst {
+			dst[j] = 0
+		}
+	}
+	for i, sv := range src {
+		if sv == 0 {
+			continue
+		}
+		row := w.data[i*cols : (i+1)*cols]
+		for j, wv := range row {
+			dst[j] += sv * wv
+		}
+	}
+}
+
+// tensorDense is a lightweight view used by the inference fast path.
+type tensorDense struct {
+	data []float64
+	cols int
+}
+
+func dense(t interface {
+	Row(int) []float64
+}, _ int) tensorDense {
+	panic("unused")
+}
+
+// layerNormRow normalizes src into dst with the given gain/bias rows.
+func layerNormRow(dst, src, gain, bias []float64, eps float64) {
+	var mean float64
+	for _, v := range src {
+		mean += v
+	}
+	mean /= float64(len(src))
+	var varsum float64
+	for _, v := range src {
+		d := v - mean
+		varsum += d * d
+	}
+	inv := 1 / math.Sqrt(varsum/float64(len(src))+eps)
+	for j, v := range src {
+		dst[j] = (v-mean)*inv*gain[j] + bias[j]
+	}
+}
+
+// Forward computes the full logits row for the current X.
+func (b *transformerInference) Forward() []float64 {
+	t := b.t
+	n := len(t.colSizes)
+	d := t.dModel
+
+	// Tokens: SOS then shifted embeddings, plus positions.
+	copy(b.seq[0], t.sos.Data)
+	for i := 1; i < n; i++ {
+		row := b.seq[i]
+		for j := range row {
+			row[j] = 0
+		}
+		off, size := t.offsets[i-1], t.colSizes[i-1]
+		for c := 0; c < size; c++ {
+			xv := b.x[off+c]
+			if xv == 0 {
+				continue
+			}
+			emb := t.wEmb.Row(off + c)
+			for j, ev := range emb {
+				row[j] += xv * ev
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		pos := t.pos.Row(i)
+		row := b.seq[i]
+		for j, pv := range pos {
+			row[j] += pv
+		}
+	}
+
+	scale := 1 / math.Sqrt(float64(t.dk))
+	for _, l := range t.layers {
+		for i := 0; i < n; i++ {
+			layerNormRow(b.normed[i], b.seq[i], l.ln1Gain.Data, l.ln1Bias.Data, 1e-5)
+		}
+		wq := tensorDense{l.wq.Data, d}
+		wk := tensorDense{l.wk.Data, d}
+		wv := tensorDense{l.wv.Data, d}
+		for i := 0; i < n; i++ {
+			affine(b.q[i], b.normed[i], &wq, nil)
+			affine(b.k[i], b.normed[i], &wk, nil)
+			affine(b.v[i], b.normed[i], &wv, nil)
+		}
+		// Causal attention per head.
+		for i := 0; i < n; i++ {
+			for j := range b.ctx[i] {
+				b.ctx[i][j] = 0
+			}
+		}
+		for hd := 0; hd < t.heads; hd++ {
+			lo := hd * t.dk
+			hi := lo + t.dk
+			for i := 0; i < n; i++ {
+				scores := b.scores[:i+1]
+				maxv := math.Inf(-1)
+				for j := 0; j <= i; j++ {
+					var s float64
+					qi, kj := b.q[i], b.k[j]
+					for c := lo; c < hi; c++ {
+						s += qi[c] * kj[c]
+					}
+					scores[j] = s * scale
+					if scores[j] > maxv {
+						maxv = scores[j]
+					}
+				}
+				var sum float64
+				for j := range scores {
+					scores[j] = math.Exp(scores[j] - maxv)
+					sum += scores[j]
+				}
+				inv := 1 / sum
+				ctxRow := b.ctx[i]
+				for j := 0; j <= i; j++ {
+					p := scores[j] * inv
+					vj := b.v[j]
+					for c := lo; c < hi; c++ {
+						ctxRow[c] += p * vj[c]
+					}
+				}
+			}
+		}
+		wo := tensorDense{l.wo.Data, d}
+		for i := 0; i < n; i++ {
+			affine(b.normed[i], b.ctx[i], &wo, nil) // reuse normed as scratch
+			row := b.seq[i]
+			for j, v := range b.normed[i] {
+				row[j] += v
+			}
+		}
+
+		// Feed-forward block.
+		w1 := tensorDense{l.w1.Data, t.ff}
+		w2 := tensorDense{l.w2.Data, d}
+		for i := 0; i < n; i++ {
+			layerNormRow(b.normed[i], b.seq[i], l.ln2Gain.Data, l.ln2Bias.Data, 1e-5)
+			affine(b.ffBuf, b.normed[i], &w1, l.b1.Data)
+			for j, v := range b.ffBuf {
+				if v < 0 {
+					b.ffBuf[j] = 0
+				}
+			}
+			affine(b.normed[i], b.ffBuf, &w2, l.b2.Data)
+			row := b.seq[i]
+			for j, v := range b.normed[i] {
+				row[j] += v
+			}
+		}
+	}
+
+	wOut := tensorDense{t.wOut.Data, t.inDim}
+	logits := make([]float64, t.inDim)
+	for i := 0; i < n; i++ {
+		layerNormRow(b.normed[i], b.seq[i], t.lnFGain.Data, t.lnFBias.Data, 1e-5)
+		affine(logits, b.normed[i], &wOut, t.bOut.Data)
+		copy(b.out[t.offsets[i]:t.offsets[i]+t.colSizes[i]],
+			logits[t.offsets[i]:t.offsets[i]+t.colSizes[i]])
+	}
+	return b.out
+}

@@ -1,0 +1,242 @@
+// Package pgm implements the baseline the SAM paper compares against:
+// database generation with Probabilistic Graphical Models (Arasu, Kaushik
+// & Li, SIGMOD'11, chordal-graph method). Attributes co-filtered by a
+// query become edges of a Markov network; the network is chordalized
+// (min-fill), its maximal cliques carry joint distributions over
+// intervalized domains, and a nonnegative linear system ties clique cells
+// to the observed cardinalities. Multi-relation workloads build one model
+// per view (distinct joined-table set), and foreign keys are derived from
+// pairwise views — the design whose inconsistencies across views the paper
+// analyzes (§2.3).
+package pgm
+
+import "sort"
+
+// undirected graph over attribute indices.
+type graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+func newGraph(n int) *graph {
+	g := &graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+func (g *graph) addEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+func (g *graph) clone() *graph {
+	c := newGraph(g.n)
+	for i, nbrs := range g.adj {
+		for j := range nbrs {
+			c.adj[i][j] = true
+		}
+	}
+	return c
+}
+
+// fillIn counts the missing edges among v's neighbours in work.
+func fillIn(work *graph, v int, alive []bool) int {
+	var nbrs []int
+	for u := range work.adj[v] {
+		if alive[u] {
+			nbrs = append(nbrs, u)
+		}
+	}
+	cnt := 0
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if !work.adj[nbrs[i]][nbrs[j]] {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// chordalize runs the min-fill heuristic, returning the elimination order
+// and mutating a copy of g into a chordal supergraph (also returned).
+func chordalize(g *graph) (*graph, []int) {
+	work := g.clone()
+	alive := make([]bool, g.n)
+	for i := range alive {
+		alive[i] = true
+	}
+	order := make([]int, 0, g.n)
+	for len(order) < g.n {
+		best, bestFill := -1, 1<<30
+		for v := 0; v < g.n; v++ {
+			if !alive[v] {
+				continue
+			}
+			f := fillIn(work, v, alive)
+			if f < bestFill {
+				best, bestFill = v, f
+			}
+		}
+		// Connect best's alive neighbours pairwise (fill edges).
+		var nbrs []int
+		for u := range work.adj[best] {
+			if alive[u] {
+				nbrs = append(nbrs, u)
+			}
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				work.addEdge(nbrs[i], nbrs[j])
+			}
+		}
+		alive[best] = false
+		order = append(order, best)
+	}
+	return work, order
+}
+
+// maximalCliques extracts the maximal cliques of a chordal graph from its
+// perfect elimination ordering: clique(v) = {v} ∪ later-neighbours(v),
+// keeping only maximal sets. Cliques and their members are sorted for
+// determinism.
+func maximalCliques(chordal *graph, order []int) [][]int {
+	pos := make([]int, chordal.n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	var cliques [][]int
+	for i, v := range order {
+		c := []int{v}
+		for u := range chordal.adj[v] {
+			if pos[u] > i {
+				c = append(c, u)
+			}
+		}
+		sort.Ints(c)
+		cliques = append(cliques, c)
+	}
+	// Drop cliques contained in another.
+	var maximal [][]int
+	for i, ci := range cliques {
+		contained := false
+		for j, cj := range cliques {
+			if i == j || len(ci) > len(cj) {
+				continue
+			}
+			if len(ci) == len(cj) && i > j && equalInts(ci, cj) {
+				contained = true
+				break
+			}
+			if len(ci) < len(cj) && subsetOf(ci, cj) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			maximal = append(maximal, ci)
+		}
+	}
+	sort.Slice(maximal, func(a, b int) bool { return lessInts(maximal[a], maximal[b]) })
+	return maximal
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetOf(a, b []int) bool { // both sorted
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) || b[j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func lessInts(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// intersect returns the sorted intersection of two sorted int slices.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// treeEdge is a junction-tree edge between clique indices with their
+// separator attributes.
+type treeEdge struct {
+	a, b int
+	sep  []int
+}
+
+// junctionTree builds a maximum-weight spanning tree over the cliques,
+// weighted by separator size (Prim's algorithm; cliques may form a forest
+// when the Markov net is disconnected — only positive-weight edges join).
+func junctionTree(cliques [][]int) []treeEdge {
+	n := len(cliques)
+	if n <= 1 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	inTree[0] = true
+	var edges []treeEdge
+	for added := 1; added < n; added++ {
+		bestW, bestA, bestB := -1, -1, -1
+		for a := 0; a < n; a++ {
+			if !inTree[a] {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				if inTree[b] {
+					continue
+				}
+				w := len(intersect(cliques[a], cliques[b]))
+				if w > bestW {
+					bestW, bestA, bestB = w, a, b
+				}
+			}
+		}
+		inTree[bestB] = true
+		if bestW > 0 {
+			edges = append(edges, treeEdge{a: bestA, b: bestB, sep: intersect(cliques[bestA], cliques[bestB])})
+		}
+	}
+	return edges
+}

@@ -1,0 +1,220 @@
+package pgm
+
+import (
+	"math/rand"
+
+	"sam/internal/workload"
+)
+
+// term references one clique cell with a coefficient.
+type term struct {
+	clique int
+	cell   int
+	coef   float64
+}
+
+// eq is one linear constraint Σ coef·x = rhs.
+type eq struct {
+	terms []term
+	rhs   float64
+	norm2 float64
+}
+
+// maxSeparatorCells bounds the number of consistency equations added per
+// junction-tree edge.
+const maxSeparatorCells = 20000
+
+// solve builds the constraint system — cardinality constraints,
+// per-clique normalization, separator consistency — and runs projected
+// Kaczmarz sweeps (successive projections onto each hyperplane, clipping
+// to the nonnegative orthant after every sweep). This is the "solving a
+// system of linear equations" step whose size is the method's complexity
+// bottleneck.
+func (vm *ViewModel) solve(queries []workload.CardQuery, cfg Config) error {
+	var system []eq
+
+	// Cardinality constraints.
+	for qi := range queries {
+		q := &queries[qi]
+		var idxs []int
+		masks := make(map[int][]float64)
+		satisfiable := true
+		byAttr := make(map[int][]workload.Predicate)
+		for _, p := range q.Preds {
+			idx := vm.attrIdx[p.Table+"."+p.Column]
+			byAttr[idx] = append(byAttr[idx], p)
+		}
+		for idx, preds := range byAttr {
+			m, ok := vm.Attrs[idx].Disc.MaskForPredicates(preds, vm.Attrs[idx].Domain)
+			if !ok {
+				satisfiable = false
+				break
+			}
+			masks[idx] = m
+			idxs = append(idxs, idx)
+		}
+		if !satisfiable {
+			continue
+		}
+		sortInts(idxs)
+		ci := vm.cliqueFor(idxs)
+		if ci < 0 {
+			// Cannot happen for co-filtered attributes on a chordal cover;
+			// skip defensively.
+			continue
+		}
+		cl := vm.Cliques[ci]
+		bins := make([]int, len(cl))
+		cells := len(vm.Joint[ci])
+		e := eq{rhs: float64(q.Card) / vm.Population}
+		for cell := 0; cell < cells; cell++ {
+			vm.cellBins(ci, cell, bins)
+			coef := 1.0
+			for pos, ai := range cl {
+				if m, ok := masks[ai]; ok {
+					coef *= m[bins[pos]]
+					if coef == 0 {
+						break
+					}
+				}
+			}
+			if coef > 0 {
+				e.terms = append(e.terms, term{clique: ci, cell: cell, coef: coef})
+				e.norm2 += coef * coef
+			}
+		}
+		if len(e.terms) > 0 {
+			system = append(system, e)
+		}
+	}
+
+	// Normalization per clique.
+	for ci := range vm.Cliques {
+		e := eq{rhs: 1}
+		for cell := range vm.Joint[ci] {
+			e.terms = append(e.terms, term{clique: ci, cell: cell, coef: 1})
+		}
+		e.norm2 = float64(len(e.terms))
+		system = append(system, e)
+	}
+
+	// Separator consistency along the junction tree.
+	for _, te := range vm.Tree {
+		sepBins := 1
+		for _, ai := range te.sep {
+			sepBins *= vm.Attrs[ai].Disc.Bins()
+		}
+		if sepBins > maxSeparatorCells {
+			continue
+		}
+		system = append(system, vm.consistencyEqs(te, sepBins)...)
+	}
+
+	// Projected Kaczmarz.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(system))
+	for i := range order {
+		order[i] = i
+	}
+	for sweep := 0; sweep < cfg.SolverSweeps; sweep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ei := range order {
+			e := &system[ei]
+			if e.norm2 == 0 {
+				continue
+			}
+			var dot float64
+			for _, t := range e.terms {
+				dot += t.coef * vm.Joint[t.clique][t.cell]
+			}
+			r := (e.rhs - dot) / e.norm2
+			for _, t := range e.terms {
+				vm.Joint[t.clique][t.cell] += r * t.coef
+			}
+		}
+		for ci := range vm.Joint {
+			for cell, v := range vm.Joint[ci] {
+				if v < 0 {
+					vm.Joint[ci][cell] = 0
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// consistencyEqs emits, for every separator cell, the equation equating
+// both cliques' marginals over that cell.
+func (vm *ViewModel) consistencyEqs(te treeEdge, sepBins int) []eq {
+	posIn := func(cl []int, ai int) int {
+		for p, v := range cl {
+			if v == ai {
+				return p
+			}
+		}
+		return -1
+	}
+	clA, clB := vm.Cliques[te.a], vm.Cliques[te.b]
+	posA := make([]int, len(te.sep))
+	posB := make([]int, len(te.sep))
+	for si, ai := range te.sep {
+		posA[si] = posIn(clA, ai)
+		posB[si] = posIn(clB, ai)
+	}
+	dims := make([]int, len(te.sep))
+	for si, ai := range te.sep {
+		dims[si] = vm.Attrs[ai].Disc.Bins()
+	}
+	eqs := make([]eq, 0, sepBins)
+	binsA := make([]int, len(clA))
+	binsB := make([]int, len(clB))
+	sepCell := make([]int, len(te.sep))
+	for flat := 0; flat < sepBins; flat++ {
+		rem := flat
+		for si := len(dims) - 1; si >= 0; si-- {
+			sepCell[si] = rem % dims[si]
+			rem /= dims[si]
+		}
+		var e eq
+		for cell := range vm.Joint[te.a] {
+			vm.cellBins(te.a, cell, binsA)
+			match := true
+			for si := range te.sep {
+				if binsA[posA[si]] != sepCell[si] {
+					match = false
+					break
+				}
+			}
+			if match {
+				e.terms = append(e.terms, term{clique: te.a, cell: cell, coef: 1})
+				e.norm2++
+			}
+		}
+		for cell := range vm.Joint[te.b] {
+			vm.cellBins(te.b, cell, binsB)
+			match := true
+			for si := range te.sep {
+				if binsB[posB[si]] != sepCell[si] {
+					match = false
+					break
+				}
+			}
+			if match {
+				e.terms = append(e.terms, term{clique: te.b, cell: cell, coef: -1})
+				e.norm2++
+			}
+		}
+		if len(e.terms) > 0 {
+			eqs = append(eqs, e)
+		}
+	}
+	return eqs
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package relation
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ColumnSpec is the serializable description of a column.
+type ColumnSpec struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"` // "categorical" or "numeric"
+	Domain int       `json:"domain"`
+	Vals   []float64 `json:"vals,omitempty"`
+}
+
+// TableSpec is the serializable description of a table (metadata only).
+type TableSpec struct {
+	Name    string       `json:"name"`
+	Parent  string       `json:"parent,omitempty"`
+	Rows    int          `json:"rows"`
+	Columns []ColumnSpec `json:"columns"`
+}
+
+// SchemaSpec is the serializable description of a schema: everything a
+// query-driven generator is allowed to know about the target database
+// (names, types, domain sizes, row counts) without reading its data.
+type SchemaSpec struct {
+	Tables []TableSpec `json:"tables"`
+}
+
+// Spec extracts the metadata description of s.
+func (s *Schema) Spec() SchemaSpec {
+	spec := SchemaSpec{}
+	for _, t := range s.Tables {
+		ts := TableSpec{Name: t.Name, Parent: t.Parent, Rows: t.NumRows()}
+		for _, c := range t.Cols {
+			kind := "categorical"
+			if c.Kind == Numeric {
+				kind = "numeric"
+			}
+			ts.Columns = append(ts.Columns, ColumnSpec{Name: c.Name, Kind: kind, Domain: c.NumValues, Vals: c.Vals})
+		}
+		spec.Tables = append(spec.Tables, ts)
+	}
+	return spec
+}
+
+// WriteSpec serializes the spec as JSON.
+func (spec SchemaSpec) WriteSpec(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// ReadSpec parses a JSON schema spec.
+func ReadSpec(r io.Reader) (SchemaSpec, error) {
+	var spec SchemaSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return spec, fmt.Errorf("relation: decode spec: %w", err)
+	}
+	return spec, nil
+}
+
+// EmptySchema builds a schema with empty tables matching the spec — the
+// shell a generator fills in.
+func (spec SchemaSpec) EmptySchema() (*Schema, error) {
+	tables := make([]*Table, 0, len(spec.Tables))
+	for _, ts := range spec.Tables {
+		cols := make([]*Column, 0, len(ts.Columns))
+		for _, cs := range ts.Columns {
+			kind := Categorical
+			switch cs.Kind {
+			case "categorical":
+			case "numeric":
+				kind = Numeric
+			default:
+				return nil, fmt.Errorf("relation: unknown column kind %q", cs.Kind)
+			}
+			c := NewColumn(cs.Name, kind, cs.Domain)
+			if cs.Vals != nil {
+				c = c.WithVals(cs.Vals)
+			}
+			cols = append(cols, c)
+		}
+		t := NewTable(ts.Name, cols...)
+		t.Parent = ts.Parent
+		tables = append(tables, t)
+	}
+	return NewSchema(tables...)
+}
+
+// Sizes returns the target row count per table from the spec.
+func (spec SchemaSpec) Sizes() map[string]int {
+	out := make(map[string]int, len(spec.Tables))
+	for _, t := range spec.Tables {
+		out[t.Name] = t.Rows
+	}
+	return out
+}
+
+// WriteCSV writes the table as CSV: one column per content attribute, plus
+// __pk / __fk columns when present.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Cols)+2)
+	if t.PKVals != nil {
+		header = append(header, "__pk")
+	}
+	for _, c := range t.Cols {
+		header = append(header, c.Name)
+	}
+	if t.Parent != "" {
+		header = append(header, "__fk")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for i := 0; i < t.NumRows(); i++ {
+		row = row[:0]
+		if t.PKVals != nil {
+			row = append(row, strconv.FormatInt(t.PKVals[i], 10))
+		}
+		for _, c := range t.Cols {
+			row = append(row, strconv.FormatInt(int64(c.Data[i]), 10))
+		}
+		if t.Parent != "" {
+			row = append(row, strconv.FormatInt(t.FK[i], 10))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV fills an empty table (built from a spec) from CSV produced by
+// WriteCSV.
+func (t *Table) ReadCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("relation: read csv header: %w", err)
+	}
+	colOf := make([]int, len(header)) // -1 pk, -2 fk, else column index
+	for hi, h := range header {
+		switch h {
+		case "__pk":
+			colOf[hi] = -1
+		case "__fk":
+			colOf[hi] = -2
+		default:
+			idx := t.ColIndex(h)
+			if idx < 0 {
+				return fmt.Errorf("relation: csv column %q not in table %s", h, t.Name)
+			}
+			colOf[hi] = idx
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("relation: read csv: %w", err)
+		}
+		for hi, field := range rec {
+			v, err := strconv.ParseInt(field, 10, 64)
+			if err != nil {
+				return fmt.Errorf("relation: csv value %q: %w", field, err)
+			}
+			switch colOf[hi] {
+			case -1:
+				t.PKVals = append(t.PKVals, v)
+			case -2:
+				t.FK = append(t.FK, v)
+			default:
+				t.Cols[colOf[hi]].Append(int32(v))
+			}
+		}
+	}
+}

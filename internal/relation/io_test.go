@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	a := NewTable("a",
+		NewColumn("x", Categorical, 5),
+		NewColumn("y", Numeric, 3).WithVals([]float64{1.5, 2.5, 9}))
+	for i := 0; i < 4; i++ {
+		a.Cols[0].Append(int32(i))
+		a.Cols[1].Append(int32(i % 3))
+	}
+	b := NewTable("b", NewColumn("z", Categorical, 2))
+	b.Parent = "a"
+	b.Cols[0].Append(1)
+	b.FK = []int64{2}
+	s := MustSchema(a, b)
+
+	var buf bytes.Buffer
+	if err := s.Spec().WriteSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Sizes()["a"] != 4 || spec.Sizes()["b"] != 1 {
+		t.Fatalf("sizes %v", spec.Sizes())
+	}
+	shell, err := spec.EmptySchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := shell.Table("a")
+	if at == nil || at.NumRows() != 0 || len(at.Cols) != 2 {
+		t.Fatal("empty schema malformed")
+	}
+	if at.Col("y").Kind != Numeric || at.Col("y").Vals[2] != 9 {
+		t.Fatal("numeric vals lost")
+	}
+	if shell.Table("b").Parent != "a" {
+		t.Fatal("parent lost")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	a := NewTable("a", NewColumn("x", Categorical, 5))
+	a.Parent = "p"
+	a.PKVals = []int64{10, 11, 12}
+	a.FK = []int64{0, 0, 1}
+	for _, v := range []int32{4, 2, 0} {
+		a.Cols[0].Append(v)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := NewTable("a", NewColumn("x", Categorical, 5))
+	back.Parent = "p"
+	if err := back.ReadCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 {
+		t.Fatalf("rows %d", back.NumRows())
+	}
+	for i := range a.Cols[0].Data {
+		if back.Cols[0].Data[i] != a.Cols[0].Data[i] {
+			t.Fatal("content mismatch")
+		}
+		if back.PKVals[i] != a.PKVals[i] || back.FK[i] != a.FK[i] {
+			t.Fatal("key mismatch")
+		}
+	}
+}
+
+func TestReadCSVRejectsUnknownColumn(t *testing.T) {
+	back := NewTable("a", NewColumn("x", Categorical, 5))
+	if err := back.ReadCSV(bytes.NewBufferString("zz\n1\n")); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestReadSpecRejectsBadKind(t *testing.T) {
+	spec := SchemaSpec{Tables: []TableSpec{{
+		Name:    "t",
+		Columns: []ColumnSpec{{Name: "x", Kind: "weird", Domain: 2}},
+	}}}
+	if _, err := spec.EmptySchema(); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}

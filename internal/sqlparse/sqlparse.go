@@ -1,0 +1,370 @@
+// Package sqlparse translates the COUNT(*) SQL dialect found in real query
+// logs (and in benchmarks like JOB-light) into workload queries: a FROM
+// list of (optionally aliased) tables, and a WHERE conjunction of
+// comparison predicates, IN lists, and equi-join conditions. Join
+// conditions must correspond to the schema's foreign-key edges (the
+// paper's supported class); everything else is rejected with a position
+// in the error.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+// Parse translates one SQL statement into a validated workload query.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	SELECT COUNT(*) FROM t1 [a1], t2 [a2], ...
+//	[WHERE cond [AND cond]...] [;]
+//
+//	cond := ref (= | < | <= | > | >=) number
+//	      | ref IN ( number [, number]... )
+//	      | ref = ref            -- FK join condition
+//	ref  := [alias.]column | alias.id
+//
+// Strict < and > are rewritten to the inclusive ≤/≥ the workload model
+// uses (integer domains make them equivalent).
+func Parse(sql string, s *relation.Schema) (*workload.Query, error) {
+	p := &parser{toks: lex(sql), schema: s}
+	q, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(s); err != nil {
+		return nil, fmt.Errorf("sqlparse: %w", err)
+	}
+	return q, nil
+}
+
+// ParseAll splits input on ';' and parses every nonempty statement.
+func ParseAll(input string, s *relation.Schema) ([]workload.Query, error) {
+	var out []workload.Query
+	for i, stmt := range strings.Split(input, ";") {
+		if strings.TrimSpace(stmt) == "" {
+			continue
+		}
+		q, err := Parse(stmt, s)
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, *q)
+	}
+	return out, nil
+}
+
+type tokKind int
+
+const (
+	tokWord tokKind = iota
+	tokNumber
+	tokSymbol // ( ) , . ; and comparison operators
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) []token {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokWord, input[i:j], i})
+			i = j
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			j := i + 1
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, string(c), i})
+				i++
+			}
+		case strings.ContainsRune("(),.;=*", c):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	schema *relation.Schema
+	// alias → table name
+	alias map[string]string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: pos %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectWord(w string) error {
+	t := p.next()
+	if t.kind != tokWord || !strings.EqualFold(t.text, w) {
+		return fmt.Errorf("sqlparse: pos %d: expected %q, got %q", t.pos, w, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("sqlparse: pos %d: expected %q, got %q", t.pos, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parse() (*workload.Query, error) {
+	if err := p.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("COUNT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("*"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+
+	q := &workload.Query{}
+	p.alias = map[string]string{}
+	for {
+		t := p.next()
+		if t.kind != tokWord {
+			return nil, fmt.Errorf("sqlparse: pos %d: expected table name, got %q", t.pos, t.text)
+		}
+		table := t.text
+		if p.schema.Table(table) == nil {
+			return nil, fmt.Errorf("sqlparse: pos %d: unknown table %q", t.pos, table)
+		}
+		alias := table
+		if p.cur().kind == tokWord && !isKeyword(p.cur().text) {
+			alias = p.next().text
+		}
+		if _, dup := p.alias[alias]; dup {
+			return nil, fmt.Errorf("sqlparse: duplicate alias %q", alias)
+		}
+		p.alias[alias] = table
+		q.Tables = append(q.Tables, table)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+
+	switch {
+	case p.cur().kind == tokEOF:
+		return q, nil
+	case p.cur().kind == tokSymbol && p.cur().text == ";":
+		p.next()
+		return q, nil
+	}
+	if err := p.expectWord("WHERE"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.cond(q); err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokWord && strings.EqualFold(p.cur().text, "AND") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == ";" {
+		p.next()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func isKeyword(w string) bool {
+	switch strings.ToUpper(w) {
+	case "WHERE", "AND", "IN", "FROM", "SELECT", "COUNT":
+		return true
+	}
+	return false
+}
+
+// colRef is a parsed [alias.]column reference.
+type colRef struct {
+	table  string
+	column string
+	pos    int
+}
+
+func (p *parser) ref() (colRef, error) {
+	t := p.next()
+	if t.kind != tokWord {
+		return colRef{}, fmt.Errorf("sqlparse: pos %d: expected column reference, got %q", t.pos, t.text)
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "." {
+		p.next()
+		col := p.next()
+		if col.kind != tokWord {
+			return colRef{}, fmt.Errorf("sqlparse: pos %d: expected column after '.'", col.pos)
+		}
+		table, ok := p.alias[t.text]
+		if !ok {
+			return colRef{}, fmt.Errorf("sqlparse: pos %d: unknown alias %q", t.pos, t.text)
+		}
+		return colRef{table: table, column: col.text, pos: t.pos}, nil
+	}
+	// Bare column: resolve against the single table that has it.
+	var owner string
+	for alias, table := range p.alias {
+		_ = alias
+		if p.schema.Table(table).Col(t.text) != nil {
+			if owner != "" && owner != table {
+				return colRef{}, fmt.Errorf("sqlparse: pos %d: ambiguous column %q", t.pos, t.text)
+			}
+			owner = table
+		}
+	}
+	if owner == "" {
+		return colRef{}, fmt.Errorf("sqlparse: pos %d: unknown column %q", t.pos, t.text)
+	}
+	return colRef{table: owner, column: t.text, pos: t.pos}, nil
+}
+
+// cond parses one WHERE conjunct into q.
+func (p *parser) cond(q *workload.Query) error {
+	left, err := p.ref()
+	if err != nil {
+		return err
+	}
+	t := p.next()
+	if t.kind == tokWord && strings.EqualFold(t.text, "IN") {
+		if err := p.expectSym("("); err != nil {
+			return err
+		}
+		var codes []int32
+		for {
+			n := p.next()
+			if n.kind != tokNumber {
+				return fmt.Errorf("sqlparse: pos %d: expected number in IN list", n.pos)
+			}
+			v, err := strconv.ParseInt(n.text, 10, 32)
+			if err != nil {
+				return fmt.Errorf("sqlparse: pos %d: %v", n.pos, err)
+			}
+			codes = append(codes, int32(v))
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return err
+		}
+		q.Preds = append(q.Preds, workload.Predicate{
+			Table: left.table, Column: left.column, Op: workload.IN, Codes: codes,
+		})
+		return nil
+	}
+	if t.kind != tokSymbol {
+		return fmt.Errorf("sqlparse: pos %d: expected operator, got %q", t.pos, t.text)
+	}
+	op := t.text
+	// Join condition: ref = ref.
+	if op == "=" && p.cur().kind == tokWord && !isNumberAhead(p.cur()) {
+		right, err := p.ref()
+		if err != nil {
+			return err
+		}
+		return p.checkJoin(left, right)
+	}
+	n := p.next()
+	if n.kind != tokNumber {
+		return fmt.Errorf("sqlparse: pos %d: expected literal, got %q", n.pos, n.text)
+	}
+	v, err := strconv.ParseInt(n.text, 10, 32)
+	if err != nil {
+		return fmt.Errorf("sqlparse: pos %d: %v", n.pos, err)
+	}
+	pred := workload.Predicate{Table: left.table, Column: left.column}
+	switch op {
+	case "=":
+		pred.Op = workload.EQ
+		pred.Code = int32(v)
+	case "<=":
+		pred.Op = workload.LE
+		pred.Code = int32(v)
+	case ">=":
+		pred.Op = workload.GE
+		pred.Code = int32(v)
+	case "<":
+		pred.Op = workload.LE
+		pred.Code = int32(v - 1)
+	case ">":
+		pred.Op = workload.GE
+		pred.Code = int32(v + 1)
+	default:
+		return fmt.Errorf("sqlparse: pos %d: unsupported operator %q", t.pos, op)
+	}
+	q.Preds = append(q.Preds, pred)
+	return nil
+}
+
+func isNumberAhead(t token) bool { return t.kind == tokNumber }
+
+// checkJoin accepts a join condition exactly when it matches a schema FK
+// edge between the two referenced tables (either direction); the join
+// itself is implied by the query's table set, so nothing is appended.
+func (p *parser) checkJoin(a, b colRef) error {
+	ta, tb := p.schema.Table(a.table), p.schema.Table(b.table)
+	if ta == nil || tb == nil {
+		return fmt.Errorf("sqlparse: join over unknown tables %q, %q", a.table, b.table)
+	}
+	if ta.Parent == b.table || tb.Parent == a.table {
+		return nil
+	}
+	return fmt.Errorf("sqlparse: pos %d: join %s.%s = %s.%s does not match a foreign-key edge",
+		a.pos, a.table, a.column, b.table, b.column)
+}

@@ -1,0 +1,103 @@
+package tensor
+
+// Node is a vertex in the computation graph: a value tensor plus, when
+// gradients are required, an accumulated gradient of the same shape and a
+// backward closure propagating into its parents.
+type Node struct {
+	Val          *Tensor
+	Grad         *Tensor
+	requiresGrad bool
+	backward     func()
+}
+
+// RequiresGrad reports whether gradients flow into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// ensureGrad lazily allocates the gradient buffer.
+func (n *Node) ensureGrad() {
+	if n.Grad == nil {
+		n.Grad = New(n.Val.Rows, n.Val.Cols)
+	}
+}
+
+// Graph is a gradient tape. Operations append nodes in creation order;
+// Backward walks the tape in reverse. A Graph is single-use per forward
+// pass and not safe for concurrent use; training code builds one graph per
+// goroutine.
+type Graph struct {
+	nodes  []*Node
+	params map[*Tensor]*Node
+}
+
+// NewGraph returns an empty tape.
+func NewGraph() *Graph { return &Graph{} }
+
+// Param registers t as a trainable leaf: gradients accumulate into
+// node.Grad. The tensor is shared, not copied, so optimizer updates to t are
+// visible in subsequent graphs. Registering the same tensor twice on one
+// graph returns the same node, so layers may bind their weights on every
+// forward call without double-counting gradients.
+func (g *Graph) Param(t *Tensor) *Node {
+	if n, ok := g.params[t]; ok {
+		return n
+	}
+	n := &Node{Val: t, requiresGrad: true}
+	n.ensureGrad()
+	g.nodes = append(g.nodes, n)
+	if g.params == nil {
+		g.params = make(map[*Tensor]*Node)
+	}
+	g.params[t] = n
+	return n
+}
+
+// ParamGrad returns the gradient accumulated for t on this graph, or nil if
+// t was never registered.
+func (g *Graph) ParamGrad(t *Tensor) *Tensor {
+	if n, ok := g.params[t]; ok {
+		return n.Grad
+	}
+	return nil
+}
+
+// Const registers t as a non-trainable leaf (inputs, masks).
+func (g *Graph) Const(t *Tensor) *Node {
+	n := &Node{Val: t}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// newNode appends an interior node whose gradient requirement is inherited
+// from its parents.
+func (g *Graph) newNode(val *Tensor, parents ...*Node) *Node {
+	n := &Node{Val: val}
+	for _, p := range parents {
+		if p.requiresGrad {
+			n.requiresGrad = true
+			break
+		}
+	}
+	if n.requiresGrad {
+		n.ensureGrad()
+	}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Backward seeds loss with gradient 1 (loss must be 1×1) and propagates
+// through the tape in reverse creation order.
+func (g *Graph) Backward(loss *Node) {
+	if loss.Val.Rows != 1 || loss.Val.Cols != 1 {
+		panic("tensor: Backward requires a scalar loss node")
+	}
+	if !loss.requiresGrad {
+		return
+	}
+	loss.Grad.Data[0] = 1
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		n := g.nodes[i]
+		if n.backward != nil && n.requiresGrad {
+			n.backward()
+		}
+	}
+}

@@ -1,0 +1,697 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// logEps floors arguments to Log and Reciprocal so gradients stay finite.
+const logEps = 1e-12
+
+// MatMul returns a·b with gradient support for both operands.
+func (g *Graph) MatMul(a, b *Node) *Node {
+	out := New(a.Val.Rows, b.Val.Cols)
+	MatMulInto(out, a.Val, b.Val)
+	n := g.newNode(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				tmp := New(a.Val.Rows, a.Val.Cols)
+				MatMulTransBInto(tmp, n.Grad, b.Val)
+				a.Grad.AddInPlace(tmp)
+			}
+			if b.requiresGrad {
+				tmp := New(b.Val.Rows, b.Val.Cols)
+				MatMulTransAInto(tmp, a.Val, n.Grad)
+				b.Grad.AddInPlace(tmp)
+			}
+		}
+	}
+	return n
+}
+
+// MulConst returns a⊙m for a constant mask m (used for MADE weight masks).
+// The gradient to a is likewise masked.
+func (g *Graph) MulConst(a *Node, m *Tensor) *Node {
+	if !a.Val.SameShape(m) {
+		panic("tensor: MulConst shape mismatch")
+	}
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = v * m.Data[i]
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i, gv := range n.Grad.Data {
+				a.Grad.Data[i] += gv * m.Data[i]
+			}
+		}
+	}
+	return n
+}
+
+// AddRow broadcasts the 1×m bias b over every row of a.
+func (g *Graph) AddRow(a, b *Node) *Node {
+	if b.Val.Rows != 1 || b.Val.Cols != a.Val.Cols {
+		panic(fmt.Sprintf("tensor: AddRow shape mismatch %v + %v", a.Val, b.Val))
+	}
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i := 0; i < a.Val.Rows; i++ {
+		arow := a.Val.Row(i)
+		orow := out.Row(i)
+		for j, v := range arow {
+			orow[j] = v + b.Val.Data[j]
+		}
+	}
+	n := g.newNode(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				a.Grad.AddInPlace(n.Grad)
+			}
+			if b.requiresGrad {
+				for i := 0; i < n.Grad.Rows; i++ {
+					grow := n.Grad.Row(i)
+					for j, gv := range grow {
+						b.Grad.Data[j] += gv
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Add returns a+b elementwise.
+func (g *Graph) Add(a, b *Node) *Node {
+	if !a.Val.SameShape(b.Val) {
+		panic("tensor: Add shape mismatch")
+	}
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Val.Data[i] + b.Val.Data[i]
+	}
+	n := g.newNode(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				a.Grad.AddInPlace(n.Grad)
+			}
+			if b.requiresGrad {
+				b.Grad.AddInPlace(n.Grad)
+			}
+		}
+	}
+	return n
+}
+
+// Sub returns a−b elementwise.
+func (g *Graph) Sub(a, b *Node) *Node {
+	if !a.Val.SameShape(b.Val) {
+		panic("tensor: Sub shape mismatch")
+	}
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Val.Data[i] - b.Val.Data[i]
+	}
+	n := g.newNode(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				a.Grad.AddInPlace(n.Grad)
+			}
+			if b.requiresGrad {
+				for i, gv := range n.Grad.Data {
+					b.Grad.Data[i] -= gv
+				}
+			}
+		}
+	}
+	return n
+}
+
+// MulElem returns a⊙b elementwise.
+func (g *Graph) MulElem(a, b *Node) *Node {
+	if !a.Val.SameShape(b.Val) {
+		panic("tensor: MulElem shape mismatch")
+	}
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Val.Data[i] * b.Val.Data[i]
+	}
+	n := g.newNode(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				for i, gv := range n.Grad.Data {
+					a.Grad.Data[i] += gv * b.Val.Data[i]
+				}
+			}
+			if b.requiresGrad {
+				for i, gv := range n.Grad.Data {
+					b.Grad.Data[i] += gv * a.Val.Data[i]
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ReLU returns max(a, 0) elementwise.
+func (g *Graph) ReLU(a *Node) *Node {
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i, gv := range n.Grad.Data {
+				if a.Val.Data[i] > 0 {
+					a.Grad.Data[i] += gv
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Scale returns s·a.
+func (g *Graph) Scale(a *Node, s float64) *Node {
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = v * s
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i, gv := range n.Grad.Data {
+				a.Grad.Data[i] += gv * s
+			}
+		}
+	}
+	return n
+}
+
+// Log returns ln(max(a, ε)) elementwise.
+func (g *Graph) Log(a *Node) *Node {
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = math.Log(math.Max(v, logEps))
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i, gv := range n.Grad.Data {
+				a.Grad.Data[i] += gv / math.Max(a.Val.Data[i], logEps)
+			}
+		}
+	}
+	return n
+}
+
+// Square returns a² elementwise.
+func (g *Graph) Square(a *Node) *Node {
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = v * v
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i, gv := range n.Grad.Data {
+				a.Grad.Data[i] += 2 * gv * a.Val.Data[i]
+			}
+		}
+	}
+	return n
+}
+
+// Mean returns the scalar mean of all elements of a as a 1×1 node.
+func (g *Graph) Mean(a *Node) *Node {
+	out := New(1, 1)
+	var s float64
+	for _, v := range a.Val.Data {
+		s += v
+	}
+	inv := 1 / float64(len(a.Val.Data))
+	out.Data[0] = s * inv
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			gv := n.Grad.Data[0] * inv
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += gv
+			}
+		}
+	}
+	return n
+}
+
+// SumAll returns the scalar sum of all elements of a as a 1×1 node.
+func (g *Graph) SumAll(a *Node) *Node {
+	out := New(1, 1)
+	var s float64
+	for _, v := range a.Val.Data {
+		s += v
+	}
+	out.Data[0] = s
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			gv := n.Grad.Data[0]
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += gv
+			}
+		}
+	}
+	return n
+}
+
+// Dot returns, per row i, Σ_j a_ij·v_j as a batch×1 node. v is constant.
+// Used to decode a (relaxed) one-hot row into a scalar value such as a
+// fanout factor.
+func (g *Graph) Dot(a *Node, v []float64) *Node {
+	if a.Val.Cols != len(v) {
+		panic("tensor: Dot length mismatch")
+	}
+	out := New(a.Val.Rows, 1)
+	for i := 0; i < a.Val.Rows; i++ {
+		arow := a.Val.Row(i)
+		var s float64
+		for j, av := range arow {
+			s += av * v[j]
+		}
+		out.Data[i] = s
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i := 0; i < a.Val.Rows; i++ {
+				gv := n.Grad.Data[i]
+				if gv == 0 {
+					continue
+				}
+				grow := a.Grad.Row(i)
+				for j, vv := range v {
+					grow[j] += gv * vv
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Reciprocal returns 1/max(a, ε) elementwise.
+func (g *Graph) Reciprocal(a *Node) *Node {
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = 1 / math.Max(v, logEps)
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i, gv := range n.Grad.Data {
+				d := math.Max(a.Val.Data[i], logEps)
+				a.Grad.Data[i] -= gv / (d * d)
+			}
+		}
+	}
+	return n
+}
+
+// ConcatCols concatenates the parts horizontally: all parts must share the
+// same row count; the result has Σ cols columns.
+func (g *Graph) ConcatCols(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("tensor: ConcatCols of nothing")
+	}
+	rows := parts[0].Val.Rows
+	total := 0
+	for _, p := range parts {
+		if p.Val.Rows != rows {
+			panic("tensor: ConcatCols row mismatch")
+		}
+		total += p.Val.Cols
+	}
+	out := New(rows, total)
+	off := 0
+	for _, p := range parts {
+		for i := 0; i < rows; i++ {
+			copy(out.Row(i)[off:off+p.Val.Cols], p.Val.Row(i))
+		}
+		off += p.Val.Cols
+	}
+	n := g.newNode(out, parts...)
+	if n.requiresGrad {
+		n.backward = func() {
+			off := 0
+			for _, p := range parts {
+				if p.requiresGrad {
+					for i := 0; i < rows; i++ {
+						grow := n.Grad.Row(i)[off : off+p.Val.Cols]
+						prow := p.Grad.Row(i)
+						for j, gv := range grow {
+							prow[j] += gv
+						}
+					}
+				}
+				off += p.Val.Cols
+			}
+		}
+	}
+	return n
+}
+
+// SliceCols returns the column range [off, off+width) of a as a new node.
+func (g *Graph) SliceCols(a *Node, off, width int) *Node {
+	if off < 0 || off+width > a.Val.Cols {
+		panic("tensor: SliceCols out of range")
+	}
+	out := New(a.Val.Rows, width)
+	for i := 0; i < a.Val.Rows; i++ {
+		copy(out.Row(i), a.Val.Row(i)[off:off+width])
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i := 0; i < a.Val.Rows; i++ {
+				grow := n.Grad.Row(i)
+				arow := a.Grad.Row(i)[off : off+width]
+				for j, gv := range grow {
+					arow[j] += gv
+				}
+			}
+		}
+	}
+	return n
+}
+
+// RangeProb computes, per row, the probability mass that softmax(logits)
+// places inside the 0/1 mask: out_i = Σ_j mask_ij · softmax(logits_i)_j.
+// This is the differentiable P(X ∈ R | x_<i) at the heart of progressive
+// sampling. The mask is constant.
+func (g *Graph) RangeProb(logits *Node, mask *Tensor) *Node {
+	if !logits.Val.SameShape(mask) {
+		panic("tensor: RangeProb shape mismatch")
+	}
+	rows, cols := logits.Val.Rows, logits.Val.Cols
+	soft := New(rows, cols)
+	out := New(rows, 1)
+	for i := 0; i < rows; i++ {
+		SoftmaxRowInto(soft.Row(i), logits.Val.Row(i))
+		var p float64
+		srow := soft.Row(i)
+		mrow := mask.Row(i)
+		for j, sv := range srow {
+			p += sv * mrow[j]
+		}
+		out.Data[i] = p
+	}
+	n := g.newNode(out, logits)
+	if n.requiresGrad {
+		n.backward = func() {
+			// d p/d logit_j = s_j (mask_j − p).
+			for i := 0; i < rows; i++ {
+				gv := n.Grad.Data[i]
+				if gv == 0 {
+					continue
+				}
+				p := out.Data[i]
+				srow := soft.Row(i)
+				mrow := mask.Row(i)
+				lrow := logits.Grad.Row(i)
+				for j, sv := range srow {
+					lrow[j] += gv * sv * (mrow[j] - p)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// STGumbel performs straight-through Gumbel-Softmax sampling restricted to
+// the mask support: the forward value is a hard one-hot drawn from the
+// in-mask renormalized softmax with Gumbel noise at temperature tau; the
+// backward pass uses the soft (relaxed) sample's Jacobian so gradients flow
+// through the categorical choice, enabling Differentiable Progressive
+// Sampling (Wu & Cong, SIGMOD'21). Fractional mask entries in (0, 1] act as
+// multiplicative priors (log-mask added to the logits), which is how
+// intervalized columns express partial bin coverage.
+func (g *Graph) STGumbel(logits *Node, mask *Tensor, tau float64, rng *rand.Rand) *Node {
+	if !logits.Val.SameShape(mask) {
+		panic("tensor: STGumbel shape mismatch")
+	}
+	if tau <= 0 {
+		panic("tensor: STGumbel requires tau > 0")
+	}
+	rows, cols := logits.Val.Rows, logits.Val.Cols
+	soft := New(rows, cols) // relaxed sample, kept for backward
+	out := New(rows, cols)  // hard one-hot
+	perturbed := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		lrow := logits.Val.Row(i)
+		mrow := mask.Row(i)
+		best, bestIdx := math.Inf(-1), -1
+		for j := range perturbed {
+			if mrow[j] == 0 {
+				perturbed[j] = math.Inf(-1)
+				continue
+			}
+			gnoise := -math.Log(-math.Log(rng.Float64() + 1e-20))
+			perturbed[j] = (lrow[j] + math.Log(mrow[j]) + gnoise) / tau
+			if perturbed[j] > best {
+				best, bestIdx = perturbed[j], j
+			}
+		}
+		if bestIdx < 0 {
+			panic("tensor: STGumbel empty mask row")
+		}
+		SoftmaxRowInto(soft.Row(i), perturbed)
+		out.Set(i, bestIdx, 1)
+	}
+	n := g.newNode(out, logits)
+	if n.requiresGrad {
+		n.backward = func() {
+			// Straight-through: treat out as soft. Softmax Jacobian at
+			// temperature tau: dy_j/dlogit_k = (1/tau)·y_j(δ_jk − y_k).
+			for i := 0; i < rows; i++ {
+				grow := n.Grad.Row(i)
+				srow := soft.Row(i)
+				var dot float64
+				for j, gv := range grow {
+					dot += gv * srow[j]
+				}
+				lrow := logits.Grad.Row(i)
+				for j, sv := range srow {
+					if sv == 0 {
+						continue
+					}
+					lrow[j] += sv * (grow[j] - dot) / tau
+				}
+			}
+		}
+	}
+	return n
+}
+
+// SoftmaxRows applies a numerically stable softmax to every row.
+func (g *Graph) SoftmaxRows(a *Node) *Node {
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i := 0; i < a.Val.Rows; i++ {
+		SoftmaxRowInto(out.Row(i), a.Val.Row(i))
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i := 0; i < a.Val.Rows; i++ {
+				yrow := out.Row(i)
+				grow := n.Grad.Row(i)
+				var dot float64
+				for j, gv := range grow {
+					dot += gv * yrow[j]
+				}
+				arow := a.Grad.Row(i)
+				for j, yv := range yrow {
+					arow[j] += yv * (grow[j] - dot)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// MatMulTB returns a·bᵀ with gradient support for both operands (used for
+// attention scores Q·Kᵀ).
+func (g *Graph) MatMulTB(a, b *Node) *Node {
+	out := New(a.Val.Rows, b.Val.Rows)
+	MatMulTransBInto(out, a.Val, b.Val)
+	n := g.newNode(out, a, b)
+	if n.requiresGrad {
+		n.backward = func() {
+			if a.requiresGrad {
+				// dA = G·B
+				tmp := New(a.Val.Rows, a.Val.Cols)
+				MatMulInto(tmp, n.Grad, b.Val)
+				a.Grad.AddInPlace(tmp)
+			}
+			if b.requiresGrad {
+				// dB = Gᵀ·A
+				tmp := New(b.Val.Rows, b.Val.Cols)
+				MatMulTransAInto(tmp, n.Grad, a.Val)
+				b.Grad.AddInPlace(tmp)
+			}
+		}
+	}
+	return n
+}
+
+// AddConst returns a + c for a constant tensor c (e.g. an attention mask
+// of 0 / −inf entries; -1e30 is used for masked positions so gradients
+// stay finite).
+func (g *Graph) AddConst(a *Node, c *Tensor) *Node {
+	if !a.Val.SameShape(c) {
+		panic("tensor: AddConst shape mismatch")
+	}
+	out := New(a.Val.Rows, a.Val.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Val.Data[i] + c.Data[i]
+	}
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			a.Grad.AddInPlace(n.Grad)
+		}
+	}
+	return n
+}
+
+// LayerNorm normalizes every row of a to zero mean and unit variance, then
+// applies the learned elementwise gain and bias (both 1×cols).
+func (g *Graph) LayerNorm(a, gain, bias *Node, eps float64) *Node {
+	rows, cols := a.Val.Rows, a.Val.Cols
+	if gain.Val.Cols != cols || bias.Val.Cols != cols || gain.Val.Rows != 1 || bias.Val.Rows != 1 {
+		panic("tensor: LayerNorm parameter shape mismatch")
+	}
+	out := New(rows, cols)
+	xhat := New(rows, cols)
+	invStd := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		arow := a.Val.Row(i)
+		var mean float64
+		for _, v := range arow {
+			mean += v
+		}
+		mean /= float64(cols)
+		var varsum float64
+		for _, v := range arow {
+			d := v - mean
+			varsum += d * d
+		}
+		inv := 1 / math.Sqrt(varsum/float64(cols)+eps)
+		invStd[i] = inv
+		xrow := xhat.Row(i)
+		orow := out.Row(i)
+		for j, v := range arow {
+			xrow[j] = (v - mean) * inv
+			orow[j] = xrow[j]*gain.Val.Data[j] + bias.Val.Data[j]
+		}
+	}
+	n := g.newNode(out, a, gain, bias)
+	if n.requiresGrad {
+		n.backward = func() {
+			for i := 0; i < rows; i++ {
+				grow := n.Grad.Row(i)
+				xrow := xhat.Row(i)
+				if gain.requiresGrad {
+					for j, gv := range grow {
+						gain.Grad.Data[j] += gv * xrow[j]
+					}
+				}
+				if bias.requiresGrad {
+					for j, gv := range grow {
+						bias.Grad.Data[j] += gv
+					}
+				}
+				if a.requiresGrad {
+					// dL/dx = inv/N · (N·dxhat − Σdxhat − xhat·Σ(dxhat·xhat))
+					N := float64(cols)
+					var sumD, sumDX float64
+					dxhat := make([]float64, cols)
+					for j, gv := range grow {
+						dxhat[j] = gv * gain.Val.Data[j]
+						sumD += dxhat[j]
+						sumDX += dxhat[j] * xrow[j]
+					}
+					arow := a.Grad.Row(i)
+					for j := range dxhat {
+						arow[j] += invStd[i] / N * (N*dxhat[j] - sumD - xrow[j]*sumDX)
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ConcatRows stacks the parts vertically: all parts must share the same
+// column count.
+func (g *Graph) ConcatRows(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	cols := parts[0].Val.Cols
+	total := 0
+	for _, p := range parts {
+		if p.Val.Cols != cols {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		total += p.Val.Rows
+	}
+	out := New(total, cols)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off*cols:], p.Val.Data)
+		off += p.Val.Rows
+	}
+	n := g.newNode(out, parts...)
+	if n.requiresGrad {
+		n.backward = func() {
+			off := 0
+			for _, p := range parts {
+				if p.requiresGrad {
+					src := n.Grad.Data[off*cols : (off+p.Val.Rows)*cols]
+					for i, gv := range src {
+						p.Grad.Data[i] += gv
+					}
+				}
+				off += p.Val.Rows
+			}
+		}
+	}
+	return n
+}
+
+// SliceRows returns rows [off, off+count) of a as a new node.
+func (g *Graph) SliceRows(a *Node, off, count int) *Node {
+	if off < 0 || off+count > a.Val.Rows {
+		panic("tensor: SliceRows out of range")
+	}
+	cols := a.Val.Cols
+	out := New(count, cols)
+	copy(out.Data, a.Val.Data[off*cols:(off+count)*cols])
+	n := g.newNode(out, a)
+	if n.requiresGrad {
+		n.backward = func() {
+			dst := a.Grad.Data[off*cols : (off+count)*cols]
+			for i, gv := range n.Grad.Data {
+				dst[i] += gv
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,192 @@
+// Package tensor provides dense float64 matrices and a small reverse-mode
+// automatic differentiation engine. It is the substrate that stands in for
+// the deep-learning framework used by the SAM paper: just enough machinery
+// (matmul, activations, softmax-derived ops, Gumbel-Softmax) to train masked
+// autoregressive density models from query workloads on a CPU.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major 2-D matrix of float64. Vectors are
+// represented as 1×n or n×1 tensors. The zero value is not useful; use New
+// or FromSlice.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialized rows×cols tensor.
+func New(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %d×%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols tensor.
+func FromSlice(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d×%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Row returns a view (shared storage) of row i.
+func (t *Tensor) Row(i int) []float64 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Rows, t.Cols)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// SameShape reports whether t and o have identical dimensions.
+func (t *Tensor) SameShape(o *Tensor) bool { return t.Rows == o.Rows && t.Cols == o.Cols }
+
+// String describes the tensor shape.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%d×%d)", t.Rows, t.Cols)
+}
+
+// Randn fills t with Gaussian noise scaled by std using rng.
+func (t *Tensor) Randn(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// XavierInit fills t with the Glorot-uniform initialization for a layer with
+// the given fan-in and fan-out.
+func (t *Tensor) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// MatMulInto computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
+// both operands.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v·%v→%v", a, b, dst))
+	}
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransAInto computes dst = aᵀ·b (a is used transposed).
+func MatMulTransAInto(dst, a, b *Tensor) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTA shape mismatch %v,%v→%v", a, b, dst))
+	}
+	dst.Zero()
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Data[r*n : (r+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes dst = a·bᵀ (b is used transposed).
+func MatMulTransBInto(dst, a, b *Tensor) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTB shape mismatch %v,%v→%v", a, b, dst))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// AddInPlace adds o to t elementwise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if !t.SameShape(o) {
+		panic("tensor: add shape mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// SoftmaxRowInto writes the numerically stable softmax of src into dst. The
+// two slices must have the same length and may alias.
+func SoftmaxRowInto(dst, src []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range src {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - maxv)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sam/internal/relation"
+)
+
+// GenOptions controls workload generation.
+type GenOptions struct {
+	// MinFilters/MaxFilters bound the number of filters per single-relation
+	// query. The paper draws 1..5.
+	MinFilters, MaxFilters int
+	// MaxJoins bounds the number of join edges in multi-relation queries
+	// (paper: 0..2 for the IMDB training workload).
+	MaxJoins int
+	// CoverageRatio, in (0, 1], restricts filter literals of every column to
+	// the first ⌈ratio·domain⌉ codes (Figure 8's coverage experiment).
+	// 0 means full coverage.
+	CoverageRatio float64
+	// INProb is the probability that a filter becomes an IN clause with
+	// 1–4 sampled codes instead of a {≤, =, ≥} comparison. The paper's
+	// workloads use comparisons only (INProb 0), but IN clauses are part
+	// of the supported query class.
+	INProb float64
+}
+
+// DefaultSingleRelationOptions mirrors §5.1: 1–5 filters, ops {≤, =, ≥},
+// literals from uniformly sampled tuples.
+func DefaultSingleRelationOptions() GenOptions {
+	return GenOptions{MinFilters: 1, MaxFilters: 5}
+}
+
+// DefaultMultiRelationOptions mirrors the MSCN-style IMDB workload: 0–2
+// joins, 0..#cols filters per relation.
+func DefaultMultiRelationOptions() GenOptions {
+	return GenOptions{MaxJoins: 2}
+}
+
+// coveredDomain returns the number of codes available for literals on a
+// column under the coverage ratio.
+func (o GenOptions) coveredDomain(domain int) int {
+	if o.CoverageRatio <= 0 || o.CoverageRatio >= 1 {
+		return domain
+	}
+	d := int(float64(domain)*o.CoverageRatio + 0.999999)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// GenerateSingleRelation draws n queries against the (single) table using
+// the paper's procedure: the filter count is uniform in
+// [MinFilters, MaxFilters], the filtered columns are a uniform sample
+// without replacement, each operator is uniform over {≤, =, ≥}, and the
+// literals come from a uniformly sampled data tuple (truncated to the
+// covered sub-domain when a coverage ratio is set).
+func GenerateSingleRelation(rng *rand.Rand, t *relation.Table, n int, opts GenOptions) []Query {
+	if t.NumRows() == 0 {
+		panic(fmt.Sprintf("workload: table %s is empty", t.Name))
+	}
+	if opts.MinFilters < 1 {
+		opts.MinFilters = 1
+	}
+	maxF := opts.MaxFilters
+	if maxF > len(t.Cols) {
+		maxF = len(t.Cols)
+	}
+	if maxF < opts.MinFilters {
+		maxF = opts.MinFilters
+	}
+	ops := []Op{LE, EQ, GE}
+	queries := make([]Query, 0, n)
+	for len(queries) < n {
+		nf := opts.MinFilters + rng.Intn(maxF-opts.MinFilters+1)
+		cols := rng.Perm(len(t.Cols))[:nf]
+		row := rng.Intn(t.NumRows())
+		q := Query{Tables: []string{t.Name}}
+		for _, ci := range cols {
+			col := t.Cols[ci]
+			q.Preds = append(q.Preds, drawPredicate(rng, t.Name, col, row, ops, opts))
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// GenerateMultiRelation draws n queries against a tree schema the way the
+// MSCN/IMDB training workload is built: a connected join subtree with at
+// most MaxJoins edges is chosen, then each participating relation receives
+// between 0 and #cols filters with literals from a sampled tuple of that
+// relation. Every query keeps at least one filter overall so the constraint
+// is informative.
+func GenerateMultiRelation(rng *rand.Rand, s *relation.Schema, n int, opts GenOptions) []Query {
+	ops := []Op{LE, EQ, GE}
+	queries := make([]Query, 0, n)
+	for len(queries) < n {
+		tables := sampleJoinSubtree(rng, s, opts.MaxJoins)
+		q := Query{Tables: tables}
+		for _, name := range tables {
+			t := s.Table(name)
+			if t.NumRows() == 0 {
+				continue
+			}
+			nf := rng.Intn(len(t.Cols) + 1)
+			if nf == 0 {
+				continue
+			}
+			cols := rng.Perm(len(t.Cols))[:nf]
+			row := rng.Intn(t.NumRows())
+			for _, ci := range cols {
+				q.Preds = append(q.Preds, drawPredicate(rng, name, t.Cols[ci], row, ops, opts))
+			}
+		}
+		if len(q.Preds) == 0 {
+			continue
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// drawPredicate builds one filter on col: the literal comes from the
+// sampled data row (clamped into the covered sub-domain), the operator is
+// uniform over {≤, =, ≥}, or — with probability INProb — an IN clause of
+// 1–4 codes seeded by the tuple's value.
+func drawPredicate(rng *rand.Rand, table string, col *relation.Column, row int, ops []Op, opts GenOptions) Predicate {
+	lim := opts.coveredDomain(col.NumValues)
+	clamp := func(code int32) int32 {
+		if int(code) >= lim {
+			return int32(rng.Intn(lim))
+		}
+		return code
+	}
+	code := clamp(col.Data[row])
+	if opts.INProb > 0 && rng.Float64() < opts.INProb {
+		n := 1 + rng.Intn(4)
+		codes := []int32{code}
+		seen := map[int32]bool{code: true}
+		for len(codes) < n {
+			c := clamp(col.Data[rng.Intn(len(col.Data))])
+			if !seen[c] {
+				seen[c] = true
+				codes = append(codes, c)
+			}
+			if len(seen) >= lim {
+				break
+			}
+		}
+		return Predicate{Table: table, Column: col.Name, Op: IN, Codes: codes}
+	}
+	return Predicate{Table: table, Column: col.Name, Op: ops[rng.Intn(len(ops))], Code: code}
+}
+
+// sampleJoinSubtree picks a connected subtree of the join tree with at most
+// maxJoins edges: start from a uniform table, then repeatedly attach a
+// uniform neighbouring table (parent or child) of the current subtree.
+func sampleJoinSubtree(rng *rand.Rand, s *relation.Schema, maxJoins int) []string {
+	start := s.Tables[rng.Intn(len(s.Tables))].Name
+	chosen := []string{start}
+	inSet := map[string]bool{start: true}
+	joins := 0
+	if maxJoins > 0 {
+		joins = rng.Intn(maxJoins + 1)
+	}
+	for e := 0; e < joins; e++ {
+		var frontier []string
+		for name := range inSet {
+			t := s.Table(name)
+			if t.Parent != "" && !inSet[t.Parent] {
+				frontier = append(frontier, t.Parent)
+			}
+			for _, c := range s.Children(name) {
+				if !inSet[c.Name] {
+					frontier = append(frontier, c.Name)
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		// Deterministic iteration order: frontier assembled from map; sort.
+		sortStrings(frontier)
+		pick := frontier[rng.Intn(len(frontier))]
+		chosen = append(chosen, pick)
+		inSet[pick] = true
+	}
+	return chosen
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

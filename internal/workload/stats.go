@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a workload's shape: the signal a practitioner checks
+// before training (coverage and variety drive recovery quality, §5.7–5.8).
+type Stats struct {
+	Queries int
+	// FiltersPerQuery is a histogram of predicate counts.
+	FiltersPerQuery map[int]int
+	// TablesPerQuery is a histogram of joined-relation counts.
+	TablesPerQuery map[int]int
+	// OpCounts counts predicates per operator.
+	OpCounts map[Op]int
+	// ColumnCounts counts predicates per "table.column".
+	ColumnCounts map[string]int
+	// ZeroCardinality is the number of constraints whose recorded result
+	// is empty.
+	ZeroCardinality int
+	// MaxCardinality is the largest recorded result.
+	MaxCardinality int64
+}
+
+// ComputeStats aggregates the workload's descriptive statistics.
+func ComputeStats(w *Workload) Stats {
+	s := Stats{
+		FiltersPerQuery: map[int]int{},
+		TablesPerQuery:  map[int]int{},
+		OpCounts:        map[Op]int{},
+		ColumnCounts:    map[string]int{},
+	}
+	s.Queries = w.Len()
+	for i := range w.Queries {
+		cq := &w.Queries[i]
+		s.FiltersPerQuery[len(cq.Preds)]++
+		s.TablesPerQuery[len(cq.Tables)]++
+		for _, p := range cq.Preds {
+			s.OpCounts[p.Op]++
+			s.ColumnCounts[p.Table+"."+p.Column]++
+		}
+		if cq.Card == 0 {
+			s.ZeroCardinality++
+		}
+		if cq.Card > s.MaxCardinality {
+			s.MaxCardinality = cq.Card
+		}
+	}
+	return s
+}
+
+// String renders a compact multi-line report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "queries: %d (zero-result: %d, max card: %d)\n",
+		s.Queries, s.ZeroCardinality, s.MaxCardinality)
+	fmt.Fprintf(&sb, "filters/query: %s\n", histLine(s.FiltersPerQuery))
+	fmt.Fprintf(&sb, "tables/query:  %s\n", histLine(s.TablesPerQuery))
+	ops := make([]Op, 0, len(s.OpCounts))
+	for op := range s.OpCounts {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	var parts []string
+	for _, op := range ops {
+		parts = append(parts, fmt.Sprintf("%v:%d", op, s.OpCounts[op]))
+	}
+	fmt.Fprintf(&sb, "operators:     %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(&sb, "filtered columns: %d distinct\n", len(s.ColumnCounts))
+	return sb.String()
+}
+
+func histLine(h map[int]int) string {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%d:%d", k, h[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// CoverageRatios estimates, per filtered column, the fraction of its
+// domain touched by the workload's literals — the quantity Figure 8
+// varies. domains maps "table.column" to the column's domain size.
+func CoverageRatios(w *Workload, domains map[string]int) map[string]float64 {
+	seen := map[string]map[int32]bool{}
+	note := func(key string, code int32) {
+		m, ok := seen[key]
+		if !ok {
+			m = map[int32]bool{}
+			seen[key] = m
+		}
+		m[code] = true
+	}
+	for i := range w.Queries {
+		for _, p := range w.Queries[i].Preds {
+			key := p.Table + "." + p.Column
+			if p.Op == IN {
+				for _, c := range p.Codes {
+					note(key, c)
+				}
+			} else {
+				note(key, p.Code)
+			}
+		}
+	}
+	out := make(map[string]float64, len(seen))
+	for key, codes := range seen {
+		dom := domains[key]
+		if dom <= 0 {
+			continue
+		}
+		// Literals of range predicates cover the span between the extreme
+		// constants, not just the points.
+		var lo, hi int32 = int32(dom), -1
+		for c := range codes {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi < lo {
+			continue
+		}
+		out[key] = float64(hi-lo+1) / float64(dom)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package sam_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sam"
+	"sam/internal/ar"
+	"sam/internal/join"
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+// TestToolPipeline exercises the cmd/workloadgen → cmd/samgen data flow
+// without spawning processes: schema spec and workload serialize to disk,
+// a model trains from the deserialized artifacts, saves, reloads, and the
+// generated tables round-trip through CSV.
+func TestToolPipeline(t *testing.T) {
+	dir := t.TempDir()
+
+	// workloadgen phase: build dataset, label queries, write artifacts.
+	orig := sam.CensusLike(5, 1500)
+	queries := sam.GenerateQueries(6, orig, 150, sam.DefaultWorkloadOptions(orig))
+	wl := &sam.Workload{Queries: sam.Label(orig, queries)}
+
+	wlPath := filepath.Join(dir, "workload.json")
+	wf, err := os.Create(wlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Write(wf); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+	specPath := filepath.Join(dir, "schema.json")
+	sf, err := os.Create(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Spec().WriteSpec(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	// samgen phase: everything reloaded from disk; the original schema's
+	// data never touches this half.
+	sf2, err := os.Open(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := relation.ReadSpec(sf2)
+	sf2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell, err := spec.EmptySchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf2, err := os.Open(wlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl2, err := workload.Read(wf2)
+	wf2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wl2.Queries {
+		if err := wl2.Queries[i].Validate(shell); err != nil {
+			t.Fatalf("reloaded query %d: %v", i, err)
+		}
+	}
+
+	layout := join.NewLayout(shell)
+	cfg := ar.DefaultTrainConfig()
+	cfg.Epochs = 6
+	cfg.Model.Hidden = 24
+	model, err := ar.Train(layout, wl2, float64(spec.Sizes()["census"]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Save/load cycle, as samgen -save / -load does.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	model2, err := ar.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := sam.Generate(model2, spec.Sizes(), sam.DefaultGenOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Tables[0].NumRows() != 1500 {
+		t.Fatalf("generated %d rows", db.Tables[0].NumRows())
+	}
+
+	// CSV round trip as samgen writes it.
+	csvPath := filepath.Join(dir, "census.csv")
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Tables[0].WriteCSV(cf); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	back, err := spec.EmptySchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Tables[0].ReadCSV(rf); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	if back.Tables[0].NumRows() != 1500 {
+		t.Fatalf("csv round trip lost rows: %d", back.Tables[0].NumRows())
+	}
+	// Evaluate fidelity on the reloaded CSV data.
+	var qerrs []float64
+	for i := range wl.Queries {
+		got := sam.Card(back, &wl.Queries[i].Query)
+		qerrs = append(qerrs, sam.QError(float64(got), float64(wl.Queries[i].Card)))
+	}
+	if sum := sam.Summarize(qerrs); sum.Median > 4 {
+		t.Fatalf("pipeline fidelity degraded: %v", sum)
+	}
+}

@@ -1,0 +1,75 @@
+package sam_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLITools builds and drives the actual command binaries end to end:
+// workloadgen produces artifacts, saminspect reads them, samgen trains,
+// saves, reloads and writes CSVs. Guarded by -short because it compiles
+// three binaries.
+func TestCLITools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"workloadgen", "samgen", "saminspect"} {
+		cmd := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin(name), args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("workloadgen", "-dataset", "census", "-rows", "1200", "-queries", "120",
+		"-out", "wl.json", "-schema", "schema.json")
+	if !strings.Contains(out, "labeled 120 queries") {
+		t.Fatalf("workloadgen output: %s", out)
+	}
+
+	out = run("saminspect", "-workload", "wl.json", "-schema", "schema.json")
+	for _, want := range []string{"== schema ==", "== workload ==", "queries: 120"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("saminspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = run("samgen", "-workload", "wl.json", "-schema", "schema.json",
+		"-outdir", "gen", "-epochs", "3", "-hidden", "16", "-samples", "1200",
+		"-save", "model.json")
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("samgen output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gen", "census.csv")); err != nil {
+		t.Fatalf("generated CSV missing: %v", err)
+	}
+
+	// Generation from the saved model, no retraining.
+	out = run("samgen", "-load", "model.json", "-schema", "schema.json",
+		"-outdir", "gen2", "-samples", "1200")
+	if !strings.Contains(out, "loaded model") {
+		t.Fatalf("samgen -load output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gen2", "census.csv")); err != nil {
+		t.Fatalf("regenerated CSV missing: %v", err)
+	}
+
+	out = run("saminspect", "-model", "model.json", "-marginals", "200")
+	if !strings.Contains(out, "== model ==") || !strings.Contains(out, "arch: made") {
+		t.Fatalf("saminspect model output:\n%s", out)
+	}
+}
