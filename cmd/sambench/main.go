@@ -5,10 +5,16 @@
 // Usage:
 //
 //	sambench [-scale quick|full] [-exp all|tab1..tab9|fig5..fig8] [-seed N] [-v]
+//	sambench -tensorbench BENCH_tensor.json
 //
 // Experiments share trained models and generated databases within one
 // invocation, so running -exp all is much cheaper than running each
 // experiment separately.
+//
+// -tensorbench skips the experiments and instead micro-benchmarks the
+// tensor hot paths (dense matmul, MADE training forward+backward, sampling
+// forward, full train step), writing JSON with the current numbers next to
+// the pre-overhaul baselines.
 package main
 
 import (
@@ -28,7 +34,24 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (tab1..tab9, fig5..fig8) or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "log progress to stderr")
+	tensorBench := flag.String("tensorbench", "", "write tensor hot-path benchmark JSON to this file and exit")
 	flag.Parse()
+
+	if *tensorBench != "" {
+		rep := experiments.RunTensorBench()
+		buf, err := rep.JSON()
+		if err != nil {
+			log.Fatalf("tensorbench: %v", err)
+		}
+		if err := os.WriteFile(*tensorBench, buf, 0o644); err != nil {
+			log.Fatalf("tensorbench: %v", err)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("%-24s %9d ns/op (%.2fx vs seed)  %d allocs/op (seed %d)\n",
+				r.Name, r.NsOp, r.Speedup, r.AllocsOp, r.BeforeAllocsOp)
+		}
+		return
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {

@@ -89,6 +89,7 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("ar: parameter %d has %d values, file has %d", i, len(p.Data), len(mf.Params[i]))
 		}
 		copy(p.Data, mf.Params[i])
+		p.MarkDirty() // invalidate masked-weight caches over this tensor
 	}
 	m.Cfg = mf.Config
 	return m, nil

@@ -95,8 +95,8 @@ func Train(layout *join.Layout, wl *workload.Workload, population float64, cfg T
 	}
 	opt := nn.NewAdam(cfg.LR)
 	opt.ClipMax = cfg.ClipNorm
-	params := m.Net.Params()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := newTrainer(m, specs, targets, cfg, opt, workers)
 
 	order := make([]int, len(specs))
 	for i := range order {
@@ -112,7 +112,7 @@ func Train(layout *join.Layout, wl *workload.Workload, population float64, cfg T
 				end = len(order)
 			}
 			batch := order[start:end]
-			loss := trainStep(m, specs, targets, batch, workers, cfg, opt, params, rng.Int63())
+			loss := tr.step(batch, rng.Int63())
 			epochLoss += loss
 			steps++
 		}
@@ -123,17 +123,64 @@ func Train(layout *join.Layout, wl *workload.Workload, population float64, cfg T
 	return m, nil
 }
 
-// trainStep runs one optimizer step over the batch, fanning the rows out to
-// worker goroutines, each with its own tape, then merging gradients.
-func trainStep(m *Model, specs []*Spec, targets []float64, batch []int, workers int,
-	cfg TrainConfig, opt *nn.Adam, params []*tensor.Tensor, seed int64) float64 {
+// trainer bundles the state reused across optimizer steps: one persistent
+// gradient tape per worker (Reset between steps so tensor buffers are
+// pooled) plus the merged-gradient and bookkeeping buffers, so the steady
+// state of a training run performs no per-step heap allocation beyond what
+// the tapes pool internally.
+type trainer struct {
+	m       *Model
+	specs   []*Spec
+	targets []float64
+	cfg     TrainConfig
+	opt     *nn.Adam
+	params  []*tensor.Tensor
+
+	tapes  []*tensor.Graph
+	grads  [][]*tensor.Tensor // per worker, per param; views into the tapes
+	losses []float64
+	counts []int
+	pairs  []nn.GradPair // Grad fields are persistent merge buffers
+}
+
+func newTrainer(m *Model, specs []*Spec, targets []float64, cfg TrainConfig,
+	opt *nn.Adam, workers int) *trainer {
+	params := m.Net.Params()
+	tr := &trainer{
+		m:       m,
+		specs:   specs,
+		targets: targets,
+		cfg:     cfg,
+		opt:     opt,
+		params:  params,
+		tapes:   make([]*tensor.Graph, workers),
+		grads:   make([][]*tensor.Tensor, workers),
+		losses:  make([]float64, workers),
+		counts:  make([]int, workers),
+		pairs:   make([]nn.GradPair, len(params)),
+	}
+	for w := range tr.tapes {
+		tr.tapes[w] = tensor.NewGraph()
+		tr.grads[w] = make([]*tensor.Tensor, len(params))
+	}
+	for pi, p := range params {
+		tr.pairs[pi] = nn.GradPair{Param: p, Grad: tensor.New(p.Rows, p.Cols)}
+	}
+	return tr
+}
+
+// step runs one optimizer step over the batch, fanning the rows out to
+// worker goroutines, each with its own persistent tape, then merging
+// gradients into the trainer's reused buffers.
+func (tr *trainer) step(batch []int, seed int64) float64 {
+	workers := len(tr.tapes)
 	if workers > len(batch) {
 		workers = len(batch)
 	}
 	chunk := (len(batch) + workers - 1) / workers
-	grads := make([][]*tensor.Tensor, workers)
-	losses := make([]float64, workers)
-	counts := make([]int, workers)
+	for w := range tr.counts {
+		tr.counts[w] = 0
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -147,52 +194,52 @@ func trainStep(m *Model, specs []*Spec, targets []float64, batch []int, workers 
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			wrng := rand.New(rand.NewSource(seed + int64(w)))
-			g, loss := forwardChunk(m, specs, targets, batch[lo:hi], cfg, wrng)
-			gs := make([]*tensor.Tensor, len(params))
-			for pi, p := range params {
-				gs[pi] = g.ParamGrad(p)
+			g := tr.tapes[w]
+			loss := forwardChunk(tr.m, g, tr.specs, tr.targets, batch[lo:hi], tr.cfg, wrng)
+			for pi, p := range tr.params {
+				tr.grads[w][pi] = g.ParamGrad(p)
 			}
-			grads[w] = gs
-			losses[w] = loss
-			counts[w] = hi - lo
+			tr.losses[w] = loss
+			tr.counts[w] = hi - lo
 		}(w, lo, hi)
 	}
 	wg.Wait()
 
 	// Merge: weighted sum of per-worker mean gradients.
 	total := 0
-	for _, c := range counts {
+	for _, c := range tr.counts {
 		total += c
 	}
-	pairs := make([]nn.GradPair, len(params))
 	var lossSum float64
-	for pi, p := range params {
-		merged := tensor.New(p.Rows, p.Cols)
-		for w := range grads {
-			if grads[w] == nil || grads[w][pi] == nil {
+	for pi := range tr.params {
+		merged := tr.pairs[pi].Grad
+		merged.Zero()
+		for w := range tr.grads {
+			if tr.counts[w] == 0 || tr.grads[w][pi] == nil {
 				continue
 			}
-			scale := float64(counts[w]) / float64(total)
-			for i, gv := range grads[w][pi].Data {
+			scale := float64(tr.counts[w]) / float64(total)
+			for i, gv := range tr.grads[w][pi].Data {
 				merged.Data[i] += gv * scale
 			}
 		}
-		pairs[pi] = nn.GradPair{Param: p, Grad: merged}
 	}
-	for w := range losses {
-		lossSum += losses[w] * float64(counts[w])
+	for w, loss := range tr.losses {
+		lossSum += loss * float64(tr.counts[w])
 	}
-	opt.Step(pairs)
+	tr.opt.Step(tr.pairs)
 	return lossSum / float64(total)
 }
 
-// forwardChunk builds the DPS graph for a set of queries (rows) and runs
-// backward; it returns the tape and the chunk's mean loss.
-func forwardChunk(m *Model, specs []*Spec, targets []float64, rows []int,
-	cfg TrainConfig, rng *rand.Rand) (*tensor.Graph, float64) {
+// forwardChunk builds the DPS graph for a set of queries (rows) on the
+// given tape and runs backward; it returns the chunk's mean loss. The tape
+// is Reset first, so all scratch comes from its pool and gradients read via
+// ParamGrad stay valid until the next call with the same tape.
+func forwardChunk(m *Model, g *tensor.Graph, specs []*Spec, targets []float64, rows []int,
+	cfg TrainConfig, rng *rand.Rand) float64 {
 	n := len(rows)
 	ncols := m.Layout.NumCols()
-	g := tensor.NewGraph()
+	g.Reset()
 
 	// Per-column mask tensors shared by all progressive samples.
 	masks := make([]*tensor.Tensor, ncols)
@@ -200,7 +247,7 @@ func forwardChunk(m *Model, specs []*Spec, targets []float64, rows []int,
 	deltas := make([]*tensor.Tensor, ncols)
 	for i := 0; i < ncols; i++ {
 		bins := m.Disc[i].Bins()
-		mk := tensor.New(n, bins)
+		mk := g.NewTensor(n, bins)
 		for r, qi := range rows {
 			spec := specs[qi]
 			if spec.Masks[i] == nil {
@@ -216,7 +263,7 @@ func forwardChunk(m *Model, specs []*Spec, targets []float64, rows []int,
 		}
 		masks[i] = mk
 		if anyDown[i] {
-			d := tensor.New(n, 1)
+			d := g.NewTensor(n, 1)
 			for r, qi := range rows {
 				if specs[qi].Downweight[i] {
 					d.Set(r, 0, 1)
@@ -256,14 +303,14 @@ func forwardChunk(m *Model, specs []*Spec, targets []float64, rows []int,
 		selAccum = g.Scale(selAccum, 1/float64(cfg.ProgressiveSamples))
 	}
 
-	target := tensor.New(n, 1)
+	target := g.NewTensor(n, 1)
 	for r, qi := range rows {
 		target.Set(r, 0, targets[qi])
 	}
 	diff := g.Sub(g.Log(selAccum), g.Const(target))
 	loss := g.Mean(g.Square(diff))
 	g.Backward(loss)
-	return g, loss.Val.Data[0]
+	return loss.Val.Data[0]
 }
 
 // progressiveChain runs one differentiable progressive-sampling pass up to
@@ -274,7 +321,7 @@ func progressiveChain(m *Model, g *tensor.Graph, masks []*tensor.Tensor, anyDown
 	ncols := m.Layout.NumCols()
 	parts := make([]*tensor.Node, ncols)
 	for i := 0; i < ncols; i++ {
-		parts[i] = g.Const(tensor.New(n, m.Disc[i].Bins()))
+		parts[i] = g.Const(g.NewTensor(n, m.Disc[i].Bins()))
 	}
 	var sel *tensor.Node
 	for i := 0; i <= lastNeeded && i < ncols; i++ {
@@ -292,7 +339,7 @@ func progressiveChain(m *Model, g *tensor.Graph, masks []*tensor.Tensor, anyDown
 		if anyDown[i] {
 			val := g.Dot(y, m.Layout.Cols[i].WeightVals)
 			recip := g.Reciprocal(val)
-			oneMinus := tensor.New(n, 1)
+			oneMinus := g.NewTensor(n, 1)
 			for r := 0; r < n; r++ {
 				oneMinus.Set(r, 0, 1-deltas[i].At(r, 0))
 			}
@@ -301,7 +348,7 @@ func progressiveChain(m *Model, g *tensor.Graph, masks []*tensor.Tensor, anyDown
 		}
 	}
 	if sel == nil {
-		ones := tensor.New(n, 1)
+		ones := g.NewTensor(n, 1)
 		ones.Fill(1)
 		sel = g.Const(ones)
 	}

@@ -76,6 +76,8 @@ func (a *Adam) Step(pairs []GradPair) {
 			vHat := vBuf[i] / bc2
 			p.Param.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
 		}
+		// Invalidate any masked-weight cache reading this parameter.
+		p.Param.MarkDirty()
 	}
 }
 

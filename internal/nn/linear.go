@@ -40,42 +40,53 @@ type MaskedLinear struct {
 	W    *tensor.Tensor // in×out
 	B    *tensor.Tensor // 1×out
 	Mask *tensor.Tensor // in×out, 0/1, fixed
+
+	// cache holds W∘Mask, recomputed only when W is marked dirty by an
+	// optimizer step, so neither the autodiff forward nor the sampling-time
+	// forwardInto multiplies by the mask per call.
+	cache *tensor.MaskedWeight
 }
 
 // NewMaskedLinear returns a Glorot-initialized masked layer. The mask is
-// retained by reference and must not be mutated afterwards.
+// retained by reference and must not be mutated afterwards. Direct writes to
+// W after construction must be followed by W.MarkDirty() so the masked-weight
+// cache notices (nn.Adam does this automatically).
 func NewMaskedLinear(rng *rand.Rand, in, out int, mask *tensor.Tensor) *MaskedLinear {
 	if mask.Rows != in || mask.Cols != out {
 		panic(fmt.Sprintf("nn: mask shape %v does not match layer %d×%d", mask, in, out))
 	}
 	l := &MaskedLinear{W: tensor.New(in, out), B: tensor.New(1, out), Mask: mask}
 	l.W.XavierInit(rng, in, out)
+	l.cache = tensor.NewMaskedWeight(l.W, mask)
 	return l
 }
 
-// Forward applies the masked layer on the autodiff graph.
+// Forward applies the masked layer on the autodiff graph via the fused
+// masked-matmul op, which reads the cached W∘Mask product.
 func (l *MaskedLinear) Forward(g *tensor.Graph, x *tensor.Node) *tensor.Node {
-	w := g.MulConst(g.Param(l.W), l.Mask)
-	return g.AddRow(g.MatMul(x, w), g.Param(l.B))
+	return g.AddRow(g.MaskedMatMul(x, g.Param(l.W), l.cache), g.Param(l.B))
 }
 
 // Params returns the trainable tensors of the layer.
 func (l *MaskedLinear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
 
-// forwardInto computes one row without autodiff: out = relu? no — plain
-// affine. x has length in, out has length out.
+// forwardInto computes one row without autodiff: out = x·(W∘Mask) + b, with
+// the masked product read from the cache. x has length in, out has length
+// out.
 func (l *MaskedLinear) forwardInto(out, x []float64) {
-	in, cols := l.W.Rows, l.W.Cols
+	mw := l.cache.Get()
+	in, cols := mw.Rows, mw.Cols
 	copy(out, l.B.Data)
 	for k := 0; k < in; k++ {
 		xv := x[k]
 		if xv == 0 {
 			continue
 		}
-		wrow := l.W.Data[k*cols : (k+1)*cols]
-		mrow := l.Mask.Data[k*cols : (k+1)*cols]
+		s, e := l.cache.RowSpan(k)
+		wrow := mw.Data[k*cols+s : k*cols+e]
+		orow := out[s:e]
 		for j, wv := range wrow {
-			out[j] += xv * wv * mrow[j]
+			orow[j] += xv * wv
 		}
 	}
 }

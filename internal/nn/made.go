@@ -58,9 +58,14 @@ func NewMADE(rng *rand.Rand, colSizes []int, hidden, numHidden int) *MADE {
 	if maxHid < 1 {
 		maxHid = 1
 	}
+	// Hidden degrees are assigned in sorted order (rather than round-robin)
+	// so every mask row's nonzeros form one contiguous block: the degree
+	// multiset — and hence the model class — is identical up to a
+	// permutation of hidden units, but contiguity lets the masked-matmul
+	// kernels skip the masked-out half of each row entirely.
 	hidDeg := make([]int, hidden)
 	for j := range hidDeg {
-		hidDeg[j] = 1 + j%maxHid
+		hidDeg[j] = 1 + j*maxHid/hidden
 	}
 
 	prevDeg := inDeg

@@ -1,0 +1,264 @@
+package tensor
+
+// Span-aware matmul kernels for masked weight matrices. The mask's per-row
+// nonzero column spans (precomputed by MaskedWeight) bound where the cached
+// product W∘Mask can be nonzero, so each kernel touches only those columns.
+// For MADE's sorted-degree masks the spans are contiguous suffixes covering
+// about half of each row, which halves the multiply-add work of every
+// masked layer. The kernels remain correct for arbitrary masks: columns
+// inside a span that happen to be masked just multiply by zero.
+//
+// The register-blocked paths process four weight rows at a time; rows in a
+// block may have different spans, so the block handles the intersection
+// with axpy4/dot4 and the per-row leftovers scalar. Sorted-degree masks
+// give near-identical spans for adjacent rows, keeping the leftovers tiny.
+
+// MatMulMaskedInto computes dst = a·mw for a masked weight product mw with
+// the given spans (nil spans fall back to the dense kernel).
+func MatMulMaskedInto(dst, a, mw *Tensor, spans []int) {
+	checkMatMul(dst, a, mw)
+	if spans == nil {
+		runKernel(a.Rows, a.Rows*a.Cols*mw.Cols, matMulRange, dst, a, mw, nil, false)
+		return
+	}
+	runKernel(a.Rows, a.Rows*a.Cols*mw.Cols, matMulMaskedRange, dst, a, mw, spans, false)
+}
+
+// MatMulMaskedTransBAddInto computes dst += a·mwᵀ — the input gradient of a
+// masked layer (a is the output gradient).
+func MatMulMaskedTransBAddInto(dst, a, mw *Tensor, spans []int) {
+	checkMatMulTransB(dst, a, mw)
+	if spans == nil {
+		runKernel(a.Rows, a.Rows*a.Cols*mw.Rows, matMulTransBRange, dst, a, mw, nil, true)
+		return
+	}
+	runKernel(a.Rows, a.Rows*a.Cols*mw.Rows, matMulMaskedTransBRange, dst, a, mw, spans, true)
+}
+
+// MatMulMaskedTransAInto computes dst = aᵀ·b restricted to each dst row's
+// span — the weight-gradient shape of a masked layer. Columns outside a
+// row's span are zeroed.
+func MatMulMaskedTransAInto(dst, a, b *Tensor, spans []int) {
+	checkMatMulTransA(dst, a, b)
+	if spans == nil {
+		runKernel(a.Cols, a.Rows*a.Cols*b.Cols, matMulTransARange, dst, a, b, nil, false)
+		return
+	}
+	runKernel(a.Cols, a.Rows*a.Cols*b.Cols, matMulMaskedTransARange, dst, a, b, spans, false)
+}
+
+// matMulMaskedRange computes rows [lo, hi) of dst = a·mw, touching only
+// each mw row's span.
+func matMulMaskedRange(dst, a, b *Tensor, spans []int, lo, hi int, acc bool) {
+	cols, n := a.Cols, b.Cols
+	if !acc {
+		z := dst.Data[lo*n : hi*n]
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	if cols == 0 || n == 0 {
+		return
+	}
+	if looksSparse(a.Data[lo*cols : hi*cols]) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*cols : (i+1)*cols]
+			drow := dst.Data[i*n : (i+1)*n]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s, e := spans[2*k], spans[2*k+1]
+				if s < e {
+					axpy1(drow[s:e], b.Data[k*n+s:k*n+e], av)
+				}
+			}
+		}
+		return
+	}
+	kb := kBlockFor(n)
+	for k0 := 0; k0 < cols; k0 += kb {
+		k1 := k0 + kb
+		if k1 > cols {
+			k1 = cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*cols : (i+1)*cols]
+			drow := dst.Data[i*n : (i+1)*n]
+			k := k0
+			for ; k+4 <= k1; k += 4 {
+				v0, v1, v2, v3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+					continue
+				}
+				s, e := spanIntersect4(spans, k)
+				if s < e {
+					axpy4(drow[s:e],
+						b.Data[k*n+s:k*n+e], b.Data[(k+1)*n+s:(k+1)*n+e],
+						b.Data[(k+2)*n+s:(k+2)*n+e], b.Data[(k+3)*n+s:(k+3)*n+e],
+						v0, v1, v2, v3)
+				}
+				spanLeftovers4(drow, b, spans, k, n, s, e, v0, v1, v2, v3)
+			}
+			for ; k < k1; k++ {
+				if av := arow[k]; av != 0 {
+					s, e := spans[2*k], spans[2*k+1]
+					if s < e {
+						axpy1(drow[s:e], b.Data[k*n+s:k*n+e], av)
+					}
+				}
+			}
+		}
+	}
+}
+
+// spanIntersect4 returns the intersection of the spans of rows k..k+3
+// (empty spans come back as s >= e).
+func spanIntersect4(spans []int, k int) (s, e int) {
+	s, e = spans[2*k], spans[2*k+1]
+	for t := 1; t < 4; t++ {
+		if ks := spans[2*(k+t)]; ks > s {
+			s = ks
+		}
+		if ke := spans[2*(k+t)+1]; ke < e {
+			e = ke
+		}
+	}
+	if s >= e {
+		s, e = 0, 0
+	}
+	return
+}
+
+// spanLeftovers4 applies the parts of rows k..k+3 that fall outside the
+// intersection [s, e) already handled by axpy4.
+func spanLeftovers4(drow []float64, b *Tensor, spans []int, k, n, s, e int, v0, v1, v2, v3 float64) {
+	vs := [4]float64{v0, v1, v2, v3}
+	for t := 0; t < 4; t++ {
+		v := vs[t]
+		if v == 0 {
+			continue
+		}
+		ks, ke := spans[2*(k+t)], spans[2*(k+t)+1]
+		base := (k + t) * n
+		if le := min(ke, s); ks < le {
+			axpy1(drow[ks:le], b.Data[base+ks:base+le], v)
+		}
+		if ls := max(ks, e); ls < ke {
+			axpy1(drow[ls:ke], b.Data[base+ls:base+ke], v)
+		}
+	}
+}
+
+// matMulMaskedTransBRange computes rows [lo, hi) of dst = a·mwᵀ: per output
+// element (i, k), the dot of a row i with mw row k over that row's span.
+func matMulMaskedTransBRange(dst, a, b *Tensor, spans []int, lo, hi int, acc bool) {
+	cols, n := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*cols : (i+1)*cols]
+		drow := dst.Data[i*n : (i+1)*n]
+		k := 0
+		for ; k+4 <= n; k += 4 {
+			s, e := spanIntersect4(spans, k)
+			var s0, s1, s2, s3 float64
+			if s < e {
+				s0, s1, s2, s3 = dot4(arow[s:e],
+					b.Data[k*cols+s:k*cols+e], b.Data[(k+1)*cols+s:(k+1)*cols+e],
+					b.Data[(k+2)*cols+s:(k+2)*cols+e], b.Data[(k+3)*cols+s:(k+3)*cols+e])
+			}
+			sums := [4]float64{s0, s1, s2, s3}
+			for t := 0; t < 4; t++ {
+				ks, ke := spans[2*(k+t)], spans[2*(k+t)+1]
+				base := (k + t) * cols
+				if le := min(ke, s); ks < le {
+					sums[t] += dot1(arow[ks:le], b.Data[base+ks:base+le])
+				}
+				if ls := max(ks, e); ls < ke {
+					sums[t] += dot1(arow[ls:ke], b.Data[base+ls:base+ke])
+				}
+			}
+			if acc {
+				drow[k] += sums[0]
+				drow[k+1] += sums[1]
+				drow[k+2] += sums[2]
+				drow[k+3] += sums[3]
+			} else {
+				drow[k], drow[k+1], drow[k+2], drow[k+3] = sums[0], sums[1], sums[2], sums[3]
+			}
+		}
+		for ; k < n; k++ {
+			s, e := spans[2*k], spans[2*k+1]
+			var sum float64
+			if s < e {
+				sum = dot1(arow[s:e], b.Data[k*cols+s:k*cols+e])
+			}
+			if acc {
+				drow[k] += sum
+			} else {
+				drow[k] = sum
+			}
+		}
+	}
+}
+
+// dot1 returns the dot product of two equal-length slices, skipping zeros
+// of a.
+func dot1(a, b []float64) (s float64) {
+	b = b[:len(a)]
+	for k, av := range a {
+		if av != 0 {
+			s += av * b[k]
+		}
+	}
+	return
+}
+
+// matMulMaskedTransARange computes dst rows [lo, hi) of dst = aᵀ·b where
+// dst row i only receives its span's columns; the rest of the row is
+// zeroed (acc is accepted for interface symmetry but the masked weight
+// gradient always overwrites).
+func matMulMaskedTransARange(dst, a, b *Tensor, spans []int, lo, hi int, acc bool) {
+	cols, n := a.Cols, b.Cols
+	if !acc {
+		z := dst.Data[lo*n : hi*n]
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	if n == 0 {
+		return
+	}
+	r := 0
+	for ; r+4 <= a.Rows; r += 4 {
+		a0 := a.Data[r*cols : (r+1)*cols]
+		a1 := a.Data[(r+1)*cols : (r+2)*cols]
+		a2 := a.Data[(r+2)*cols : (r+3)*cols]
+		a3 := a.Data[(r+3)*cols : (r+4)*cols]
+		b0 := b.Data[r*n : (r+1)*n]
+		b1 := b.Data[(r+1)*n : (r+2)*n]
+		b2 := b.Data[(r+2)*n : (r+3)*n]
+		b3 := b.Data[(r+3)*n : (r+4)*n]
+		for i := lo; i < hi; i++ {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			s, e := spans[2*i], spans[2*i+1]
+			if s < e {
+				axpy4(dst.Data[i*n+s:i*n+e], b0[s:e], b1[s:e], b2[s:e], b3[s:e], v0, v1, v2, v3)
+			}
+		}
+	}
+	for ; r < a.Rows; r++ {
+		arow := a.Data[r*cols : (r+1)*cols]
+		brow := b.Data[r*n : (r+1)*n]
+		for i := lo; i < hi; i++ {
+			if av := arow[i]; av != 0 {
+				s, e := spans[2*i], spans[2*i+1]
+				if s < e {
+					axpy1(dst.Data[i*n+s:i*n+e], brow[s:e], av)
+				}
+			}
+		}
+	}
+}

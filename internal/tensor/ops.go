@@ -11,23 +11,41 @@ const logEps = 1e-12
 
 // MatMul returns a·b with gradient support for both operands.
 func (g *Graph) MatMul(a, b *Node) *Node {
-	out := New(a.Val.Rows, b.Val.Cols)
+	out := g.alloc(a.Val.Rows, b.Val.Cols, false)
 	MatMulInto(out, a.Val, b.Val)
-	n := g.newNode(out, a, b)
-	if n.requiresGrad {
-		n.backward = func() {
-			if a.requiresGrad {
-				tmp := New(a.Val.Rows, a.Val.Cols)
-				MatMulTransBInto(tmp, n.Grad, b.Val)
-				a.Grad.AddInPlace(tmp)
-			}
-			if b.requiresGrad {
-				tmp := New(b.Val.Rows, b.Val.Cols)
-				MatMulTransAInto(tmp, a.Val, n.Grad)
-				b.Grad.AddInPlace(tmp)
-			}
-		}
+	n := g.push(out, opMatMul, a.requiresGrad || b.requiresGrad)
+	n.a, n.b = a, b
+	return n
+}
+
+// MatMulTB returns a·bᵀ with gradient support for both operands (used for
+// attention scores Q·Kᵀ).
+func (g *Graph) MatMulTB(a, b *Node) *Node {
+	out := g.alloc(a.Val.Rows, b.Val.Rows, false)
+	MatMulTransBInto(out, a.Val, b.Val)
+	n := g.push(out, opMatMulTB, a.requiresGrad || b.requiresGrad)
+	n.a, n.b = a, b
+	return n
+}
+
+// MaskedMatMul returns x·(W∘Mask) where the product W∘Mask comes from the
+// dirty-bit cache, so the mask multiply is skipped on every forward pass
+// whose weights are unchanged since the last optimizer step. w must be the
+// node binding the cache's weight tensor (typically g.Param(cache.Weight())).
+// Gradients flow to x through the masked weights and to W through the mask,
+// exactly as for MatMul(x, MulConst(w, mask)).
+func (g *Graph) MaskedMatMul(x, w *Node, cache *MaskedWeight) *Node {
+	if w.Val != cache.Weight() {
+		panic("tensor: MaskedMatMul weight node does not bind the cache's weight tensor")
 	}
+	mw := cache.Get()
+	out := g.alloc(x.Val.Rows, mw.Cols, false)
+	MatMulMaskedInto(out, x.Val, mw, cache.spans)
+	n := g.push(out, opMaskedMatMul, x.requiresGrad || w.requiresGrad)
+	n.a, n.b = x, w
+	n.aux1 = cache.Mask()
+	n.aux2 = mw
+	n.mwc = cache
 	return n
 }
 
@@ -37,18 +55,13 @@ func (g *Graph) MulConst(a *Node, m *Tensor) *Node {
 	if !a.Val.SameShape(m) {
 		panic("tensor: MulConst shape mismatch")
 	}
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = v * m.Data[i]
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i, gv := range n.Grad.Data {
-				a.Grad.Data[i] += gv * m.Data[i]
-			}
-		}
-	}
+	n := g.push(out, opMulConst, a.requiresGrad)
+	n.a = a
+	n.aux1 = m
 	return n
 }
 
@@ -57,7 +70,7 @@ func (g *Graph) AddRow(a, b *Node) *Node {
 	if b.Val.Rows != 1 || b.Val.Cols != a.Val.Cols {
 		panic(fmt.Sprintf("tensor: AddRow shape mismatch %v + %v", a.Val, b.Val))
 	}
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i := 0; i < a.Val.Rows; i++ {
 		arow := a.Val.Row(i)
 		orow := out.Row(i)
@@ -65,22 +78,8 @@ func (g *Graph) AddRow(a, b *Node) *Node {
 			orow[j] = v + b.Val.Data[j]
 		}
 	}
-	n := g.newNode(out, a, b)
-	if n.requiresGrad {
-		n.backward = func() {
-			if a.requiresGrad {
-				a.Grad.AddInPlace(n.Grad)
-			}
-			if b.requiresGrad {
-				for i := 0; i < n.Grad.Rows; i++ {
-					grow := n.Grad.Row(i)
-					for j, gv := range grow {
-						b.Grad.Data[j] += gv
-					}
-				}
-			}
-		}
-	}
+	n := g.push(out, opAddRow, a.requiresGrad || b.requiresGrad)
+	n.a, n.b = a, b
 	return n
 }
 
@@ -89,21 +88,12 @@ func (g *Graph) Add(a, b *Node) *Node {
 	if !a.Val.SameShape(b.Val) {
 		panic("tensor: Add shape mismatch")
 	}
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i := range out.Data {
 		out.Data[i] = a.Val.Data[i] + b.Val.Data[i]
 	}
-	n := g.newNode(out, a, b)
-	if n.requiresGrad {
-		n.backward = func() {
-			if a.requiresGrad {
-				a.Grad.AddInPlace(n.Grad)
-			}
-			if b.requiresGrad {
-				b.Grad.AddInPlace(n.Grad)
-			}
-		}
-	}
+	n := g.push(out, opAdd, a.requiresGrad || b.requiresGrad)
+	n.a, n.b = a, b
 	return n
 }
 
@@ -112,23 +102,12 @@ func (g *Graph) Sub(a, b *Node) *Node {
 	if !a.Val.SameShape(b.Val) {
 		panic("tensor: Sub shape mismatch")
 	}
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i := range out.Data {
 		out.Data[i] = a.Val.Data[i] - b.Val.Data[i]
 	}
-	n := g.newNode(out, a, b)
-	if n.requiresGrad {
-		n.backward = func() {
-			if a.requiresGrad {
-				a.Grad.AddInPlace(n.Grad)
-			}
-			if b.requiresGrad {
-				for i, gv := range n.Grad.Data {
-					b.Grad.Data[i] -= gv
-				}
-			}
-		}
-	}
+	n := g.push(out, opSub, a.requiresGrad || b.requiresGrad)
+	n.a, n.b = a, b
 	return n
 }
 
@@ -137,138 +116,89 @@ func (g *Graph) MulElem(a, b *Node) *Node {
 	if !a.Val.SameShape(b.Val) {
 		panic("tensor: MulElem shape mismatch")
 	}
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i := range out.Data {
 		out.Data[i] = a.Val.Data[i] * b.Val.Data[i]
 	}
-	n := g.newNode(out, a, b)
-	if n.requiresGrad {
-		n.backward = func() {
-			if a.requiresGrad {
-				for i, gv := range n.Grad.Data {
-					a.Grad.Data[i] += gv * b.Val.Data[i]
-				}
-			}
-			if b.requiresGrad {
-				for i, gv := range n.Grad.Data {
-					b.Grad.Data[i] += gv * a.Val.Data[i]
-				}
-			}
-		}
-	}
+	n := g.push(out, opMulElem, a.requiresGrad || b.requiresGrad)
+	n.a, n.b = a, b
 	return n
 }
 
 // ReLU returns max(a, 0) elementwise.
 func (g *Graph) ReLU(a *Node) *Node {
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i, gv := range n.Grad.Data {
-				if a.Val.Data[i] > 0 {
-					a.Grad.Data[i] += gv
-				}
-			}
-		}
-	}
+	n := g.push(out, opReLU, a.requiresGrad)
+	n.a = a
 	return n
 }
 
 // Scale returns s·a.
 func (g *Graph) Scale(a *Node, s float64) *Node {
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = v * s
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i, gv := range n.Grad.Data {
-				a.Grad.Data[i] += gv * s
-			}
-		}
-	}
+	n := g.push(out, opScale, a.requiresGrad)
+	n.a = a
+	n.f1 = s
 	return n
 }
 
 // Log returns ln(max(a, ε)) elementwise.
 func (g *Graph) Log(a *Node) *Node {
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = math.Log(math.Max(v, logEps))
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i, gv := range n.Grad.Data {
-				a.Grad.Data[i] += gv / math.Max(a.Val.Data[i], logEps)
-			}
-		}
-	}
+	n := g.push(out, opLog, a.requiresGrad)
+	n.a = a
 	return n
 }
 
 // Square returns a² elementwise.
 func (g *Graph) Square(a *Node) *Node {
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = v * v
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i, gv := range n.Grad.Data {
-				a.Grad.Data[i] += 2 * gv * a.Val.Data[i]
-			}
-		}
-	}
+	n := g.push(out, opSquare, a.requiresGrad)
+	n.a = a
 	return n
 }
 
 // Mean returns the scalar mean of all elements of a as a 1×1 node.
 func (g *Graph) Mean(a *Node) *Node {
-	out := New(1, 1)
+	out := g.alloc(1, 1, false)
 	var s float64
 	for _, v := range a.Val.Data {
 		s += v
 	}
 	inv := 1 / float64(len(a.Val.Data))
 	out.Data[0] = s * inv
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			gv := n.Grad.Data[0] * inv
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += gv
-			}
-		}
-	}
+	n := g.push(out, opMean, a.requiresGrad)
+	n.a = a
+	n.f1 = inv
 	return n
 }
 
 // SumAll returns the scalar sum of all elements of a as a 1×1 node.
 func (g *Graph) SumAll(a *Node) *Node {
-	out := New(1, 1)
+	out := g.alloc(1, 1, false)
 	var s float64
 	for _, v := range a.Val.Data {
 		s += v
 	}
 	out.Data[0] = s
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			gv := n.Grad.Data[0]
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += gv
-			}
-		}
-	}
+	n := g.push(out, opSumAll, a.requiresGrad)
+	n.a = a
 	return n
 }
 
@@ -279,7 +209,7 @@ func (g *Graph) Dot(a *Node, v []float64) *Node {
 	if a.Val.Cols != len(v) {
 		panic("tensor: Dot length mismatch")
 	}
-	out := New(a.Val.Rows, 1)
+	out := g.alloc(a.Val.Rows, 1, false)
 	for i := 0; i < a.Val.Rows; i++ {
 		arow := a.Val.Row(i)
 		var s float64
@@ -288,39 +218,20 @@ func (g *Graph) Dot(a *Node, v []float64) *Node {
 		}
 		out.Data[i] = s
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i := 0; i < a.Val.Rows; i++ {
-				gv := n.Grad.Data[i]
-				if gv == 0 {
-					continue
-				}
-				grow := a.Grad.Row(i)
-				for j, vv := range v {
-					grow[j] += gv * vv
-				}
-			}
-		}
-	}
+	n := g.push(out, opDot, a.requiresGrad)
+	n.a = a
+	n.auxF = v
 	return n
 }
 
 // Reciprocal returns 1/max(a, ε) elementwise.
 func (g *Graph) Reciprocal(a *Node) *Node {
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = 1 / math.Max(v, logEps)
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i, gv := range n.Grad.Data {
-				d := math.Max(a.Val.Data[i], logEps)
-				a.Grad.Data[i] -= gv / (d * d)
-			}
-		}
-	}
+	n := g.push(out, opReciprocal, a.requiresGrad)
+	n.a = a
 	return n
 }
 
@@ -332,13 +243,15 @@ func (g *Graph) ConcatCols(parts ...*Node) *Node {
 	}
 	rows := parts[0].Val.Rows
 	total := 0
+	req := false
 	for _, p := range parts {
 		if p.Val.Rows != rows {
 			panic("tensor: ConcatCols row mismatch")
 		}
 		total += p.Val.Cols
+		req = req || p.requiresGrad
 	}
-	out := New(rows, total)
+	out := g.alloc(rows, total, false)
 	off := 0
 	for _, p := range parts {
 		for i := 0; i < rows; i++ {
@@ -346,24 +259,35 @@ func (g *Graph) ConcatCols(parts ...*Node) *Node {
 		}
 		off += p.Val.Cols
 	}
-	n := g.newNode(out, parts...)
-	if n.requiresGrad {
-		n.backward = func() {
-			off := 0
-			for _, p := range parts {
-				if p.requiresGrad {
-					for i := 0; i < rows; i++ {
-						grow := n.Grad.Row(i)[off : off+p.Val.Cols]
-						prow := p.Grad.Row(i)
-						for j, gv := range grow {
-							prow[j] += gv
-						}
-					}
-				}
-				off += p.Val.Cols
-			}
-		}
+	n := g.push(out, opConcatCols, req)
+	n.parts = g.copyParts(parts)
+	return n
+}
+
+// ConcatRows stacks the parts vertically: all parts must share the same
+// column count.
+func (g *Graph) ConcatRows(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("tensor: ConcatRows of nothing")
 	}
+	cols := parts[0].Val.Cols
+	total := 0
+	req := false
+	for _, p := range parts {
+		if p.Val.Cols != cols {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		total += p.Val.Rows
+		req = req || p.requiresGrad
+	}
+	out := g.alloc(total, cols, false)
+	off := 0
+	for _, p := range parts {
+		copy(out.Data[off*cols:], p.Val.Data)
+		off += p.Val.Rows
+	}
+	n := g.push(out, opConcatRows, req)
+	n.parts = g.copyParts(parts)
 	return n
 }
 
@@ -372,22 +296,27 @@ func (g *Graph) SliceCols(a *Node, off, width int) *Node {
 	if off < 0 || off+width > a.Val.Cols {
 		panic("tensor: SliceCols out of range")
 	}
-	out := New(a.Val.Rows, width)
+	out := g.alloc(a.Val.Rows, width, false)
 	for i := 0; i < a.Val.Rows; i++ {
 		copy(out.Row(i), a.Val.Row(i)[off:off+width])
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i := 0; i < a.Val.Rows; i++ {
-				grow := n.Grad.Row(i)
-				arow := a.Grad.Row(i)[off : off+width]
-				for j, gv := range grow {
-					arow[j] += gv
-				}
-			}
-		}
+	n := g.push(out, opSliceCols, a.requiresGrad)
+	n.a = a
+	n.i1, n.i2 = off, width
+	return n
+}
+
+// SliceRows returns rows [off, off+count) of a as a new node.
+func (g *Graph) SliceRows(a *Node, off, count int) *Node {
+	if off < 0 || off+count > a.Val.Rows {
+		panic("tensor: SliceRows out of range")
 	}
+	cols := a.Val.Cols
+	out := g.alloc(count, cols, false)
+	copy(out.Data, a.Val.Data[off*cols:(off+count)*cols])
+	n := g.push(out, opSliceRows, a.requiresGrad)
+	n.a = a
+	n.i1, n.i2 = off, count
 	return n
 }
 
@@ -400,8 +329,8 @@ func (g *Graph) RangeProb(logits *Node, mask *Tensor) *Node {
 		panic("tensor: RangeProb shape mismatch")
 	}
 	rows, cols := logits.Val.Rows, logits.Val.Cols
-	soft := New(rows, cols)
-	out := New(rows, 1)
+	soft := g.alloc(rows, cols, false)
+	out := g.alloc(rows, 1, false)
 	for i := 0; i < rows; i++ {
 		SoftmaxRowInto(soft.Row(i), logits.Val.Row(i))
 		var p float64
@@ -412,25 +341,10 @@ func (g *Graph) RangeProb(logits *Node, mask *Tensor) *Node {
 		}
 		out.Data[i] = p
 	}
-	n := g.newNode(out, logits)
-	if n.requiresGrad {
-		n.backward = func() {
-			// d p/d logit_j = s_j (mask_j − p).
-			for i := 0; i < rows; i++ {
-				gv := n.Grad.Data[i]
-				if gv == 0 {
-					continue
-				}
-				p := out.Data[i]
-				srow := soft.Row(i)
-				mrow := mask.Row(i)
-				lrow := logits.Grad.Row(i)
-				for j, sv := range srow {
-					lrow[j] += gv * sv * (mrow[j] - p)
-				}
-			}
-		}
-	}
+	n := g.push(out, opRangeProb, logits.requiresGrad)
+	n.a = logits
+	n.aux1 = soft
+	n.aux2 = mask
 	return n
 }
 
@@ -450,9 +364,9 @@ func (g *Graph) STGumbel(logits *Node, mask *Tensor, tau float64, rng *rand.Rand
 		panic("tensor: STGumbel requires tau > 0")
 	}
 	rows, cols := logits.Val.Rows, logits.Val.Cols
-	soft := New(rows, cols) // relaxed sample, kept for backward
-	out := New(rows, cols)  // hard one-hot
-	perturbed := make([]float64, cols)
+	soft := g.alloc(rows, cols, false) // relaxed sample, kept for backward
+	out := g.alloc(rows, cols, true)   // hard one-hot
+	perturbed := g.alloc(1, cols, false).Data
 	for i := 0; i < rows; i++ {
 		lrow := logits.Val.Row(i)
 		mrow := mask.Row(i)
@@ -474,79 +388,21 @@ func (g *Graph) STGumbel(logits *Node, mask *Tensor, tau float64, rng *rand.Rand
 		SoftmaxRowInto(soft.Row(i), perturbed)
 		out.Set(i, bestIdx, 1)
 	}
-	n := g.newNode(out, logits)
-	if n.requiresGrad {
-		n.backward = func() {
-			// Straight-through: treat out as soft. Softmax Jacobian at
-			// temperature tau: dy_j/dlogit_k = (1/tau)·y_j(δ_jk − y_k).
-			for i := 0; i < rows; i++ {
-				grow := n.Grad.Row(i)
-				srow := soft.Row(i)
-				var dot float64
-				for j, gv := range grow {
-					dot += gv * srow[j]
-				}
-				lrow := logits.Grad.Row(i)
-				for j, sv := range srow {
-					if sv == 0 {
-						continue
-					}
-					lrow[j] += sv * (grow[j] - dot) / tau
-				}
-			}
-		}
-	}
+	n := g.push(out, opSTGumbel, logits.requiresGrad)
+	n.a = logits
+	n.aux1 = soft
+	n.f1 = tau
 	return n
 }
 
 // SoftmaxRows applies a numerically stable softmax to every row.
 func (g *Graph) SoftmaxRows(a *Node) *Node {
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i := 0; i < a.Val.Rows; i++ {
 		SoftmaxRowInto(out.Row(i), a.Val.Row(i))
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i := 0; i < a.Val.Rows; i++ {
-				yrow := out.Row(i)
-				grow := n.Grad.Row(i)
-				var dot float64
-				for j, gv := range grow {
-					dot += gv * yrow[j]
-				}
-				arow := a.Grad.Row(i)
-				for j, yv := range yrow {
-					arow[j] += yv * (grow[j] - dot)
-				}
-			}
-		}
-	}
-	return n
-}
-
-// MatMulTB returns a·bᵀ with gradient support for both operands (used for
-// attention scores Q·Kᵀ).
-func (g *Graph) MatMulTB(a, b *Node) *Node {
-	out := New(a.Val.Rows, b.Val.Rows)
-	MatMulTransBInto(out, a.Val, b.Val)
-	n := g.newNode(out, a, b)
-	if n.requiresGrad {
-		n.backward = func() {
-			if a.requiresGrad {
-				// dA = G·B
-				tmp := New(a.Val.Rows, a.Val.Cols)
-				MatMulInto(tmp, n.Grad, b.Val)
-				a.Grad.AddInPlace(tmp)
-			}
-			if b.requiresGrad {
-				// dB = Gᵀ·A
-				tmp := New(b.Val.Rows, b.Val.Cols)
-				MatMulTransAInto(tmp, n.Grad, a.Val)
-				b.Grad.AddInPlace(tmp)
-			}
-		}
-	}
+	n := g.push(out, opSoftmaxRows, a.requiresGrad)
+	n.a = a
 	return n
 }
 
@@ -557,16 +413,12 @@ func (g *Graph) AddConst(a *Node, c *Tensor) *Node {
 	if !a.Val.SameShape(c) {
 		panic("tensor: AddConst shape mismatch")
 	}
-	out := New(a.Val.Rows, a.Val.Cols)
+	out := g.alloc(a.Val.Rows, a.Val.Cols, false)
 	for i := range out.Data {
 		out.Data[i] = a.Val.Data[i] + c.Data[i]
 	}
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			a.Grad.AddInPlace(n.Grad)
-		}
-	}
+	n := g.push(out, opAddConst, a.requiresGrad)
+	n.a = a
 	return n
 }
 
@@ -577,9 +429,9 @@ func (g *Graph) LayerNorm(a, gain, bias *Node, eps float64) *Node {
 	if gain.Val.Cols != cols || bias.Val.Cols != cols || gain.Val.Rows != 1 || bias.Val.Rows != 1 {
 		panic("tensor: LayerNorm parameter shape mismatch")
 	}
-	out := New(rows, cols)
-	xhat := New(rows, cols)
-	invStd := make([]float64, rows)
+	out := g.alloc(rows, cols, false)
+	xhat := g.alloc(rows, cols, false)
+	invStd := g.alloc(1, rows, false)
 	for i := 0; i < rows; i++ {
 		arow := a.Val.Row(i)
 		var mean float64
@@ -593,7 +445,7 @@ func (g *Graph) LayerNorm(a, gain, bias *Node, eps float64) *Node {
 			varsum += d * d
 		}
 		inv := 1 / math.Sqrt(varsum/float64(cols)+eps)
-		invStd[i] = inv
+		invStd.Data[i] = inv
 		xrow := xhat.Row(i)
 		orow := out.Row(i)
 		for j, v := range arow {
@@ -601,97 +453,286 @@ func (g *Graph) LayerNorm(a, gain, bias *Node, eps float64) *Node {
 			orow[j] = xrow[j]*gain.Val.Data[j] + bias.Val.Data[j]
 		}
 	}
-	n := g.newNode(out, a, gain, bias)
-	if n.requiresGrad {
-		n.backward = func() {
-			for i := 0; i < rows; i++ {
+	n := g.push(out, opLayerNorm, a.requiresGrad || gain.requiresGrad || bias.requiresGrad)
+	n.a, n.b, n.c = a, gain, bias
+	n.aux1 = xhat
+	n.aux2 = invStd
+	return n
+}
+
+// backstep propagates n.Grad into n's operands. Temporaries come from the
+// tape's pool, so a warm tape's backward pass performs no heap allocation.
+func (g *Graph) backstep(n *Node) {
+	switch n.op {
+	case opMatMul:
+		a, b := n.a, n.b
+		if a.requiresGrad {
+			MatMulTransBAddInto(a.Grad, n.Grad, b.Val)
+		}
+		if b.requiresGrad {
+			MatMulTransAAddInto(b.Grad, a.Val, n.Grad)
+		}
+	case opMatMulTB:
+		a, b := n.a, n.b
+		if a.requiresGrad {
+			// dA = G·B
+			MatMulAddInto(a.Grad, n.Grad, b.Val)
+		}
+		if b.requiresGrad {
+			// dB = Gᵀ·A
+			MatMulTransAAddInto(b.Grad, n.Grad, a.Val)
+		}
+	case opMaskedMatMul:
+		x, w := n.a, n.b
+		spans := n.mwc.spans
+		if x.requiresGrad {
+			// dX = G·(W∘M)ᵀ — the cached product saved at forward time.
+			MatMulMaskedTransBAddInto(x.Grad, n.Grad, n.aux2, spans)
+		}
+		if w.requiresGrad {
+			// dW = (Xᵀ·G)∘M: the masked tmp kernel zeroes outside each
+			// row's span, so only the span needs the mask multiply.
+			tmp := g.alloc(w.Val.Rows, w.Val.Cols, false)
+			MatMulMaskedTransAInto(tmp, x.Val, n.Grad, spans)
+			md := n.aux1.Data
+			wg := w.Grad.Data
+			cols := w.Val.Cols
+			for r := 0; r < w.Val.Rows; r++ {
+				for i := r*cols + spans[2*r]; i < r*cols+spans[2*r+1]; i++ {
+					wg[i] += tmp.Data[i] * md[i]
+				}
+			}
+		}
+	case opMulConst:
+		a, m := n.a, n.aux1
+		for i, gv := range n.Grad.Data {
+			a.Grad.Data[i] += gv * m.Data[i]
+		}
+	case opAddRow:
+		a, b := n.a, n.b
+		if a.requiresGrad {
+			a.Grad.AddInPlace(n.Grad)
+		}
+		if b.requiresGrad {
+			for i := 0; i < n.Grad.Rows; i++ {
 				grow := n.Grad.Row(i)
-				xrow := xhat.Row(i)
-				if gain.requiresGrad {
-					for j, gv := range grow {
-						gain.Grad.Data[j] += gv * xrow[j]
-					}
-				}
-				if bias.requiresGrad {
-					for j, gv := range grow {
-						bias.Grad.Data[j] += gv
-					}
-				}
-				if a.requiresGrad {
-					// dL/dx = inv/N · (N·dxhat − Σdxhat − xhat·Σ(dxhat·xhat))
-					N := float64(cols)
-					var sumD, sumDX float64
-					dxhat := make([]float64, cols)
-					for j, gv := range grow {
-						dxhat[j] = gv * gain.Val.Data[j]
-						sumD += dxhat[j]
-						sumDX += dxhat[j] * xrow[j]
-					}
-					arow := a.Grad.Row(i)
-					for j := range dxhat {
-						arow[j] += invStd[i] / N * (N*dxhat[j] - sumD - xrow[j]*sumDX)
-					}
+				for j, gv := range grow {
+					b.Grad.Data[j] += gv
 				}
 			}
 		}
-	}
-	return n
-}
-
-// ConcatRows stacks the parts vertically: all parts must share the same
-// column count.
-func (g *Graph) ConcatRows(parts ...*Node) *Node {
-	if len(parts) == 0 {
-		panic("tensor: ConcatRows of nothing")
-	}
-	cols := parts[0].Val.Cols
-	total := 0
-	for _, p := range parts {
-		if p.Val.Cols != cols {
-			panic("tensor: ConcatRows column mismatch")
+	case opAdd:
+		if n.a.requiresGrad {
+			n.a.Grad.AddInPlace(n.Grad)
 		}
-		total += p.Val.Rows
-	}
-	out := New(total, cols)
-	off := 0
-	for _, p := range parts {
-		copy(out.Data[off*cols:], p.Val.Data)
-		off += p.Val.Rows
-	}
-	n := g.newNode(out, parts...)
-	if n.requiresGrad {
-		n.backward = func() {
-			off := 0
-			for _, p := range parts {
-				if p.requiresGrad {
-					src := n.Grad.Data[off*cols : (off+p.Val.Rows)*cols]
-					for i, gv := range src {
-						p.Grad.Data[i] += gv
-					}
-				}
-				off += p.Val.Rows
-			}
+		if n.b.requiresGrad {
+			n.b.Grad.AddInPlace(n.Grad)
 		}
-	}
-	return n
-}
-
-// SliceRows returns rows [off, off+count) of a as a new node.
-func (g *Graph) SliceRows(a *Node, off, count int) *Node {
-	if off < 0 || off+count > a.Val.Rows {
-		panic("tensor: SliceRows out of range")
-	}
-	cols := a.Val.Cols
-	out := New(count, cols)
-	copy(out.Data, a.Val.Data[off*cols:(off+count)*cols])
-	n := g.newNode(out, a)
-	if n.requiresGrad {
-		n.backward = func() {
-			dst := a.Grad.Data[off*cols : (off+count)*cols]
+	case opSub:
+		if n.a.requiresGrad {
+			n.a.Grad.AddInPlace(n.Grad)
+		}
+		if n.b.requiresGrad {
 			for i, gv := range n.Grad.Data {
-				dst[i] += gv
+				n.b.Grad.Data[i] -= gv
 			}
 		}
+	case opMulElem:
+		a, b := n.a, n.b
+		if a.requiresGrad {
+			for i, gv := range n.Grad.Data {
+				a.Grad.Data[i] += gv * b.Val.Data[i]
+			}
+		}
+		if b.requiresGrad {
+			for i, gv := range n.Grad.Data {
+				b.Grad.Data[i] += gv * a.Val.Data[i]
+			}
+		}
+	case opReLU:
+		a := n.a
+		for i, gv := range n.Grad.Data {
+			if a.Val.Data[i] > 0 {
+				a.Grad.Data[i] += gv
+			}
+		}
+	case opScale:
+		a, s := n.a, n.f1
+		for i, gv := range n.Grad.Data {
+			a.Grad.Data[i] += gv * s
+		}
+	case opLog:
+		a := n.a
+		for i, gv := range n.Grad.Data {
+			a.Grad.Data[i] += gv / math.Max(a.Val.Data[i], logEps)
+		}
+	case opSquare:
+		a := n.a
+		for i, gv := range n.Grad.Data {
+			a.Grad.Data[i] += 2 * gv * a.Val.Data[i]
+		}
+	case opMean:
+		a := n.a
+		gv := n.Grad.Data[0] * n.f1
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += gv
+		}
+	case opSumAll:
+		a := n.a
+		gv := n.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += gv
+		}
+	case opDot:
+		a, v := n.a, n.auxF
+		for i := 0; i < a.Val.Rows; i++ {
+			gv := n.Grad.Data[i]
+			if gv == 0 {
+				continue
+			}
+			grow := a.Grad.Row(i)
+			for j, vv := range v {
+				grow[j] += gv * vv
+			}
+		}
+	case opReciprocal:
+		a := n.a
+		for i, gv := range n.Grad.Data {
+			d := math.Max(a.Val.Data[i], logEps)
+			a.Grad.Data[i] -= gv / (d * d)
+		}
+	case opConcatCols:
+		rows := n.Val.Rows
+		off := 0
+		for _, p := range n.parts {
+			if p.requiresGrad {
+				for i := 0; i < rows; i++ {
+					grow := n.Grad.Row(i)[off : off+p.Val.Cols]
+					prow := p.Grad.Row(i)
+					for j, gv := range grow {
+						prow[j] += gv
+					}
+				}
+			}
+			off += p.Val.Cols
+		}
+	case opConcatRows:
+		cols := n.Val.Cols
+		off := 0
+		for _, p := range n.parts {
+			if p.requiresGrad {
+				src := n.Grad.Data[off*cols : (off+p.Val.Rows)*cols]
+				for i, gv := range src {
+					p.Grad.Data[i] += gv
+				}
+			}
+			off += p.Val.Rows
+		}
+	case opSliceCols:
+		a, off, width := n.a, n.i1, n.i2
+		for i := 0; i < a.Val.Rows; i++ {
+			grow := n.Grad.Row(i)
+			arow := a.Grad.Row(i)[off : off+width]
+			for j, gv := range grow {
+				arow[j] += gv
+			}
+		}
+	case opSliceRows:
+		a, off, count := n.a, n.i1, n.i2
+		cols := a.Val.Cols
+		dst := a.Grad.Data[off*cols : (off+count)*cols]
+		for i, gv := range n.Grad.Data {
+			dst[i] += gv
+		}
+	case opRangeProb:
+		// d p/d logit_j = s_j (mask_j − p).
+		a, soft, mask := n.a, n.aux1, n.aux2
+		for i := 0; i < soft.Rows; i++ {
+			gv := n.Grad.Data[i]
+			if gv == 0 {
+				continue
+			}
+			p := n.Val.Data[i]
+			srow := soft.Row(i)
+			mrow := mask.Row(i)
+			lrow := a.Grad.Row(i)
+			for j, sv := range srow {
+				lrow[j] += gv * sv * (mrow[j] - p)
+			}
+		}
+	case opSTGumbel:
+		// Straight-through: treat out as soft. Softmax Jacobian at
+		// temperature tau: dy_j/dlogit_k = (1/tau)·y_j(δ_jk − y_k).
+		a, soft, tau := n.a, n.aux1, n.f1
+		for i := 0; i < soft.Rows; i++ {
+			grow := n.Grad.Row(i)
+			srow := soft.Row(i)
+			var dot float64
+			for j, gv := range grow {
+				dot += gv * srow[j]
+			}
+			lrow := a.Grad.Row(i)
+			for j, sv := range srow {
+				if sv == 0 {
+					continue
+				}
+				lrow[j] += sv * (grow[j] - dot) / tau
+			}
+		}
+	case opSoftmaxRows:
+		a := n.a
+		for i := 0; i < n.Val.Rows; i++ {
+			yrow := n.Val.Row(i)
+			grow := n.Grad.Row(i)
+			var dot float64
+			for j, gv := range grow {
+				dot += gv * yrow[j]
+			}
+			arow := a.Grad.Row(i)
+			for j, yv := range yrow {
+				arow[j] += yv * (grow[j] - dot)
+			}
+		}
+	case opAddConst:
+		n.a.Grad.AddInPlace(n.Grad)
+	case opLayerNorm:
+		a, gain, bias := n.a, n.b, n.c
+		xhat, invStd := n.aux1, n.aux2
+		rows, cols := n.Val.Rows, n.Val.Cols
+		var dxhat []float64
+		if a.requiresGrad {
+			dxhat = g.alloc(1, cols, false).Data
+		}
+		for i := 0; i < rows; i++ {
+			grow := n.Grad.Row(i)
+			xrow := xhat.Row(i)
+			if gain.requiresGrad {
+				for j, gv := range grow {
+					gain.Grad.Data[j] += gv * xrow[j]
+				}
+			}
+			if bias.requiresGrad {
+				for j, gv := range grow {
+					bias.Grad.Data[j] += gv
+				}
+			}
+			if a.requiresGrad {
+				// dL/dx = inv/N · (N·dxhat − Σdxhat − xhat·Σ(dxhat·xhat))
+				N := float64(cols)
+				var sumD, sumDX float64
+				for j, gv := range grow {
+					dxhat[j] = gv * gain.Val.Data[j]
+					sumD += dxhat[j]
+					sumDX += dxhat[j] * xrow[j]
+				}
+				arow := a.Grad.Row(i)
+				inv := invStd.Data[i]
+				for j := range dxhat {
+					arow[j] += inv / N * (N*dxhat[j] - sumD - xrow[j]*sumDX)
+				}
+			}
+		}
+	default:
+		panic("tensor: backstep on unknown op")
 	}
-	return n
 }

@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The matmul kernels shard output rows across a bounded set of extra
+// goroutines. A global token budget (rather than a per-call pool) keeps the
+// total number of kernel goroutines at the worker limit even when many
+// training workers issue matmuls concurrently: a caller takes whatever
+// tokens are free and runs the rest of the work inline, so under full
+// training parallelism the kernels degrade gracefully to serial instead of
+// oversubscribing the machine.
+var (
+	parLimit  atomic.Int32 // max goroutines (including the caller) per kernel
+	parTokens atomic.Int32 // global budget of extra kernel goroutines
+)
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	parLimit.Store(int32(n))
+	parTokens.Store(int32(n - 1))
+}
+
+// parallelMinFlops is the work threshold (multiply-adds) below which a
+// kernel always runs serially: spawning a goroutine costs on the order of a
+// microsecond, so a shard must carry at least ~256K multiply-adds to pay
+// for itself. Each extra worker requires another threshold's worth of work.
+const parallelMinFlops = 1 << 18
+
+// SetMatMulWorkers overrides the kernel worker limit (including the calling
+// goroutine); n ≤ 1 forces serial kernels. It must not be called while
+// matmuls are in flight — intended for tests, benchmarks, and process
+// startup.
+func SetMatMulWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parLimit.Store(int32(n))
+	parTokens.Store(int32(n - 1))
+}
+
+// MatMulWorkers returns the current kernel worker limit.
+func MatMulWorkers() int { return int(parLimit.Load()) }
+
+// rangeKernel computes dst rows [lo, hi) from a and b, accumulating into
+// dst when acc is set. spans, when non-nil, bounds the nonzero column range
+// of the masked operand per row (see MaskedWeight); plain kernels ignore
+// it. Implementations must be safe for concurrent calls on disjoint ranges.
+type rangeKernel func(dst, a, b *Tensor, spans []int, lo, hi int, acc bool)
+
+// runKernel runs k over [0, rows) split into contiguous shards, using up to
+// limit workers when the kernel is large enough and tokens are free. The
+// operands are threaded explicitly (rather than captured in a closure) so
+// the serial fast path — which dominates for the small per-query DPS
+// matrices — performs no heap allocation.
+func runKernel(rows, flops int, k rangeKernel, dst, a, b *Tensor, spans []int, acc bool) {
+	w := int(parLimit.Load())
+	if byFlops := flops / parallelMinFlops; w > byFlops {
+		w = byFlops
+	}
+	if w > rows {
+		w = rows
+	}
+	if w > 1 {
+		extra := 0
+		for extra < w-1 {
+			cur := parTokens.Load()
+			if cur <= 0 {
+				break
+			}
+			if parTokens.CompareAndSwap(cur, cur-1) {
+				extra++
+			}
+		}
+		if extra > 0 {
+			workers := extra + 1
+			chunk := (rows + workers - 1) / workers
+			var wg sync.WaitGroup
+			for t := 1; t < workers; t++ {
+				lo := t * chunk
+				hi := lo + chunk
+				if hi > rows {
+					hi = rows
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					k(dst, a, b, spans, lo, hi, acc)
+				}(lo, hi)
+			}
+			if chunk > rows {
+				chunk = rows
+			}
+			k(dst, a, b, spans, 0, chunk, acc)
+			wg.Wait()
+			parTokens.Add(int32(extra))
+			return
+		}
+	}
+	k(dst, a, b, spans, 0, rows, acc)
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Tensor is a dense, row-major 2-D matrix of float64. Vectors are
@@ -17,6 +18,10 @@ import (
 type Tensor struct {
 	Rows, Cols int
 	Data       []float64
+
+	// version counts in-place mutations announced via MarkDirty; consumers
+	// such as MaskedWeight use it as a dirty bit for derived caches.
+	version uint64
 }
 
 // New returns a zero-initialized rows×cols tensor.
@@ -34,6 +39,16 @@ func FromSlice(rows, cols int, data []float64) *Tensor {
 	}
 	return &Tensor{Rows: rows, Cols: cols, Data: data}
 }
+
+// Version returns the mutation counter maintained by MarkDirty. It only
+// advances when writers announce their updates; direct Data writes do not
+// move it.
+func (t *Tensor) Version() uint64 { return atomic.LoadUint64(&t.version) }
+
+// MarkDirty advances the mutation counter, invalidating caches derived from
+// this tensor (e.g. MaskedWeight). Optimizers call it after updating
+// parameters in place.
+func (t *Tensor) MarkDirty() { atomic.AddUint64(&t.version, 1) }
 
 // At returns the element at row i, column j.
 func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
@@ -89,24 +104,158 @@ func (t *Tensor) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
 	}
 }
 
+// The matmul kernels below come in Into (dst overwritten) and AddInto
+// (dst accumulated) flavors. All of them register-block four rows of the
+// streamed operand for instruction-level parallelism, tile the k dimension
+// so the streamed block stays cache-resident, fall back to a zero-skipping
+// scalar path for sparse (one-hot style) inputs, and shard output rows
+// across the worker pool in parallel.go when the matrix is large enough.
+
+// kBlockFor picks the k-tile size so one tile of b (kb rows × n cols of
+// float64) stays within ~32KB (L1-sized); it is always a multiple of 4.
+func kBlockFor(n int) int {
+	if n <= 0 {
+		return 4
+	}
+	kb := (1 << 15) / (8 * n) &^ 3
+	if kb < 4 {
+		kb = 4
+	}
+	return kb
+}
+
+// axpy4 computes dst += v0·b0 + v1·b1 + v2·b2 + v3·b3 elementwise. All
+// slices must have the same length; reslicing lets the compiler drop bounds
+// checks in the loop.
+func axpy4(dst, b0, b1, b2, b3 []float64, v0, v1, v2, v3 float64) {
+	dst = dst[:len(b0)]
+	b1 = b1[:len(b0)]
+	b2 = b2[:len(b0)]
+	b3 = b3[:len(b0)]
+	for j, bv := range b0 {
+		dst[j] += v0*bv + v1*b1[j] + v2*b2[j] + v3*b3[j]
+	}
+}
+
+// axpy1 computes dst += v·b elementwise.
+func axpy1(dst, b []float64, v float64) {
+	dst = dst[:len(b)]
+	for j, bv := range b {
+		dst[j] += v * bv
+	}
+}
+
+// dot4 returns the dot products of a against four rows, skipping zero
+// entries of a (one-hot inputs) and keeping four independent accumulator
+// chains for dense ones.
+func dot4(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	b2 = b2[:len(a)]
+	b3 = b3[:len(a)]
+	for k, av := range a {
+		if av == 0 {
+			continue
+		}
+		s0 += av * b0[k]
+		s1 += av * b1[k]
+		s2 += av * b2[k]
+		s3 += av * b3[k]
+	}
+	return
+}
+
+// looksSparse estimates whether under a quarter of data is nonzero by
+// sampling a strided subset, so density dispatch costs O(sample) instead of
+// a full scan per kernel call. One-hot progressive-sampling inputs are
+// uniformly sparse, so a small sample classifies them reliably.
+func looksSparse(data []float64) bool {
+	const sample = 256
+	stride := len(data) / sample
+	if stride < 1 {
+		stride = 1
+	}
+	seen, nz := 0, 0
+	for i := 0; i < len(data); i += stride {
+		seen++
+		if data[i] != 0 {
+			nz++
+		}
+	}
+	return nz*4 < seen
+}
+
 // MatMulInto computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
 // both operands.
 func MatMulInto(dst, a, b *Tensor) {
+	checkMatMul(dst, a, b)
+	runKernel(a.Rows, a.Rows*a.Cols*b.Cols, matMulRange, dst, a, b, nil, false)
+}
+
+// MatMulAddInto computes dst += a·b, used by backward passes to accumulate
+// gradients without a temporary.
+func MatMulAddInto(dst, a, b *Tensor) {
+	checkMatMul(dst, a, b)
+	runKernel(a.Rows, a.Rows*a.Cols*b.Cols, matMulRange, dst, a, b, nil, true)
+}
+
+func checkMatMul(dst, a, b *Tensor) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v·%v→%v", a, b, dst))
 	}
-	dst.Zero()
-	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
+}
+
+// matMulRange computes rows [lo, hi) of dst = a·b (or += with acc).
+func matMulRange(dst, a, b *Tensor, _ []int, lo, hi int, acc bool) {
+	cols, n := a.Cols, b.Cols
+	if !acc {
+		z := dst.Data[lo*n : hi*n]
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	if cols == 0 || n == 0 {
+		return
+	}
+	// Sparse inputs (one-hot blocks from progressive sampling) skip rows of
+	// b entirely; dense inputs take the tiled, register-blocked path.
+	if looksSparse(a.Data[lo*cols : hi*cols]) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*cols : (i+1)*cols]
+			drow := dst.Data[i*n : (i+1)*n]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				axpy1(drow, b.Data[k*n:(k+1)*n], av)
 			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+		}
+		return
+	}
+	kb := kBlockFor(n)
+	for k0 := 0; k0 < cols; k0 += kb {
+		k1 := k0 + kb
+		if k1 > cols {
+			k1 = cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*cols : (i+1)*cols]
+			drow := dst.Data[i*n : (i+1)*n]
+			k := k0
+			for ; k+4 <= k1; k += 4 {
+				v0, v1, v2, v3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+					continue
+				}
+				axpy4(drow,
+					b.Data[k*n:(k+1)*n], b.Data[(k+1)*n:(k+2)*n],
+					b.Data[(k+2)*n:(k+3)*n], b.Data[(k+3)*n:(k+4)*n],
+					v0, v1, v2, v3)
+			}
+			for ; k < k1; k++ {
+				if av := arow[k]; av != 0 {
+					axpy1(drow, b.Data[k*n:(k+1)*n], av)
+				}
 			}
 		}
 	}
@@ -114,21 +263,60 @@ func MatMulInto(dst, a, b *Tensor) {
 
 // MatMulTransAInto computes dst = aᵀ·b (a is used transposed).
 func MatMulTransAInto(dst, a, b *Tensor) {
+	checkMatMulTransA(dst, a, b)
+	runKernel(a.Cols, a.Rows*a.Cols*b.Cols, matMulTransARange, dst, a, b, nil, false)
+}
+
+// MatMulTransAAddInto computes dst += aᵀ·b.
+func MatMulTransAAddInto(dst, a, b *Tensor) {
+	checkMatMulTransA(dst, a, b)
+	runKernel(a.Cols, a.Rows*a.Cols*b.Cols, matMulTransARange, dst, a, b, nil, true)
+}
+
+func checkMatMulTransA(dst, a, b *Tensor) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulTA shape mismatch %v,%v→%v", a, b, dst))
 	}
-	dst.Zero()
-	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Row(r)
-		brow := b.Data[r*n : (r+1)*n]
-		for i, av := range arow {
-			if av == 0 {
+}
+
+// matMulTransARange computes dst rows [lo, hi) — i.e. a's columns lo..hi —
+// of dst = aᵀ·b (or += with acc). Four rows of a/b are blocked together so
+// each pass over the dst shard amortizes their loads.
+func matMulTransARange(dst, a, b *Tensor, _ []int, lo, hi int, acc bool) {
+	cols, n := a.Cols, b.Cols
+	if !acc {
+		z := dst.Data[lo*n : hi*n]
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	if n == 0 {
+		return
+	}
+	r := 0
+	for ; r+4 <= a.Rows; r += 4 {
+		a0 := a.Data[r*cols : (r+1)*cols]
+		a1 := a.Data[(r+1)*cols : (r+2)*cols]
+		a2 := a.Data[(r+2)*cols : (r+3)*cols]
+		a3 := a.Data[(r+3)*cols : (r+4)*cols]
+		b0 := b.Data[r*n : (r+1)*n]
+		b1 := b.Data[(r+1)*n : (r+2)*n]
+		b2 := b.Data[(r+2)*n : (r+3)*n]
+		b3 := b.Data[(r+3)*n : (r+4)*n]
+		for i := lo; i < hi; i++ {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
 				continue
 			}
-			drow := dst.Row(i)
-			for j, bv := range brow {
-				drow[j] += av * bv
+			axpy4(dst.Data[i*n:(i+1)*n], b0, b1, b2, b3, v0, v1, v2, v3)
+		}
+	}
+	for ; r < a.Rows; r++ {
+		arow := a.Data[r*cols : (r+1)*cols]
+		brow := b.Data[r*n : (r+1)*n]
+		for i := lo; i < hi; i++ {
+			if av := arow[i]; av != 0 {
+				axpy1(dst.Data[i*n:(i+1)*n], brow, av)
 			}
 		}
 	}
@@ -136,19 +324,60 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 
 // MatMulTransBInto computes dst = a·bᵀ (b is used transposed).
 func MatMulTransBInto(dst, a, b *Tensor) {
+	checkMatMulTransB(dst, a, b)
+	runKernel(a.Rows, a.Rows*a.Cols*b.Rows, matMulTransBRange, dst, a, b, nil, false)
+}
+
+// MatMulTransBAddInto computes dst += a·bᵀ.
+func MatMulTransBAddInto(dst, a, b *Tensor) {
+	checkMatMulTransB(dst, a, b)
+	runKernel(a.Rows, a.Rows*a.Cols*b.Rows, matMulTransBRange, dst, a, b, nil, true)
+}
+
+func checkMatMulTransB(dst, a, b *Tensor) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulTB shape mismatch %v,%v→%v", a, b, dst))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
+}
+
+// matMulTransBRange computes rows [lo, hi) of dst = a·bᵀ (or += with acc)
+// in dot-product form, four b-rows per pass.
+func matMulTransBRange(dst, a, b *Tensor, _ []int, lo, hi int, acc bool) {
+	cols, n := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*cols : (i+1)*cols]
+		drow := dst.Data[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0, s1, s2, s3 := dot4(arow,
+				b.Data[j*cols:(j+1)*cols], b.Data[(j+1)*cols:(j+2)*cols],
+				b.Data[(j+2)*cols:(j+3)*cols], b.Data[(j+3)*cols:(j+4)*cols])
+			if acc {
+				drow[j] += s0
+				drow[j+1] += s1
+				drow[j+2] += s2
+				drow[j+3] += s3
+			} else {
+				drow[j] = s0
+				drow[j+1] = s1
+				drow[j+2] = s2
+				drow[j+3] = s3
+			}
+		}
+		for ; j < n; j++ {
+			brow := b.Data[j*cols : (j+1)*cols][:len(arow)]
 			var s float64
 			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
 				s += av * brow[k]
 			}
-			drow[j] = s
+			if acc {
+				drow[j] += s
+			} else {
+				drow[j] = s
+			}
 		}
 	}
 }
