@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	sambench [-scale quick|full] [-exp all|tab1..tab9|fig5..fig8] [-seed N] [-v]
+//	sambench [-scale smoke|quick|full] [-exp all|tab1..tab9|fig5..fig8] [-seed N] [-v]
+//	         [-trace out.jsonl] [-progress] [-debug-addr :6060]
 //	sambench -tensorbench BENCH_tensor.json
 //
 // Experiments share trained models and generated databases within one
 // invocation, so running -exp all is much cheaper than running each
 // experiment separately.
+//
+// -trace records the run's phase tree (train/sample/weight/merge/eval
+// spans with wall time and allocation deltas) as JSONL and prints its
+// summary after the reports. -progress streams per-epoch training loss and
+// per-phase generation stats to stderr. -debug-addr serves live
+// net/http/pprof, expvar, and the telemetry registry while the run is hot.
 //
 // -tensorbench skips the experiments and instead micro-benchmarks the
 // tensor hot paths (dense matmul, MADE training forward+backward, sampling
@@ -26,15 +33,19 @@ import (
 	"time"
 
 	"sam/internal/experiments"
+	"sam/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
-	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	scaleFlag := flag.String("scale", "quick", "experiment scale: smoke, quick or full")
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (tab1..tab9, fig5..fig8) or all")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	tensorBench := flag.String("tensorbench", "", "write tensor hot-path benchmark JSON to this file and exit")
+	traceOut := flag.String("trace", "", "write the run's phase trace (JSONL spans) to this file")
+	progress := flag.Bool("progress", false, "stream per-epoch training and per-phase generation progress to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 
 	if *tensorBench != "" {
@@ -55,12 +66,14 @@ func main() {
 
 	var scale experiments.Scale
 	switch *scaleFlag {
+	case "smoke":
+		scale = experiments.SmokeScale()
 	case "quick":
 		scale = experiments.QuickScale()
 	case "full":
 		scale = experiments.FullScale()
 	default:
-		log.Fatalf("unknown -scale %q (want quick or full)", *scaleFlag)
+		log.Fatalf("unknown -scale %q (want smoke, quick or full)", *scaleFlag)
 	}
 	scale.Seed = *seed
 
@@ -71,6 +84,31 @@ func main() {
 		}
 	}
 	ctx := experiments.NewContext(scale, logf)
+
+	reg := obs.Default()
+	var hooks *obs.Hooks
+	if *debugAddr != "" {
+		hooks = obs.MetricsHooks(reg)
+		addr, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof, expvar, metrics)\n", addr)
+	}
+	if *progress {
+		hooks = obs.Merge(hooks, obs.ProgressHooks(os.Stderr))
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace("sambench")
+		root := trace.Root()
+		root.SetAttr("seed", *seed)
+		root.SetAttr("scale", *scaleFlag)
+		root.SetAttr("experiments", *expFlag)
+		obs.BuildMeta().SetAttrs(root)
+	}
+	ctx.Hooks = hooks
+	ctx.Span = trace.Root()
 
 	runners := experiments.Runners()
 	wanted := map[string]bool{}
@@ -102,6 +140,24 @@ func main() {
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if trace != nil {
+		trace.Root().End()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := trace.WriteJSONL(f); err != nil {
+			f.Close()
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Println("== phase trace ==")
+		fmt.Print(trace.Summary())
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 }
 

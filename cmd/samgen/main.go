@@ -6,14 +6,21 @@
 // Usage:
 //
 //	samgen -workload workload.json -schema schema.json -outdir gen/ \
-//	       [-population N] [-epochs N] [-hidden N] [-samples N] [-seed N] [-no-gam]
+//	       [-population N] [-epochs N] [-hidden N] [-samples N] [-seed N] [-no-gam] \
+//	       [-trace out.jsonl] [-progress] [-debug-addr :6060]
 //
 // -population is required for multi-relation schemas (the full outer join
 // size, printed by workloadgen).
+//
+// -trace records the pipeline's phase tree (train/sample/weight/merge
+// spans with wall time and allocation deltas) as JSONL and prints its
+// summary; -progress streams per-epoch loss and per-phase generation
+// stats to stderr; -debug-addr serves live pprof/expvar/metrics.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"path/filepath"
@@ -23,6 +30,7 @@ import (
 	"sam/internal/core"
 	"sam/internal/join"
 	"sam/internal/nn"
+	"sam/internal/obs"
 	"sam/internal/relation"
 	"sam/internal/workload"
 )
@@ -41,7 +49,31 @@ func main() {
 	arch := flag.String("arch", "made", "autoregressive backbone: made or transformer")
 	savePath := flag.String("save", "", "save the trained model to this path")
 	loadPath := flag.String("load", "", "skip training and load a model saved with -save")
+	traceOut := flag.String("trace", "", "write the pipeline's phase trace (JSONL spans) to this file")
+	progress := flag.Bool("progress", false, "stream per-epoch training and per-phase generation progress to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
+
+	var hooks *obs.Hooks
+	if *debugAddr != "" {
+		hooks = obs.MetricsHooks(obs.Default())
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Printf("debug server on http://%s (pprof, expvar, metrics)", addr)
+	}
+	if *progress {
+		hooks = obs.Merge(hooks, obs.ProgressHooks(os.Stderr))
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace("samgen")
+		root := trace.Root()
+		root.SetAttr("seed", *seed)
+		obs.BuildMeta().SetAttrs(root)
+	}
+	tel := telemetry{hooks: hooks, trace: trace, traceOut: *traceOut}
 
 	if *loadPath != "" {
 		mf, err := os.Open(*loadPath)
@@ -65,7 +97,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		generateAndWrite(model, sspec.Sizes(), *outDir, *samples, *seed, !*noGam)
+		generateAndWrite(model, sspec.Sizes(), *outDir, *samples, *seed, !*noGam, tel)
 		return
 	}
 
@@ -114,6 +146,8 @@ func main() {
 	cfg.Model.Arch = *arch
 	cfg.Seed = *seed
 	cfg.Logf = log.Printf
+	cfg.Hooks = tel.hooks
+	cfg.Span = tel.trace.Root()
 	log.Printf("training SAM on %d cardinality constraints (%d model columns)...", wl.Len(), layout.NumCols())
 	start := time.Now()
 	model, err := ar.Train(layout, wl, pop, cfg)
@@ -137,11 +171,41 @@ func main() {
 		log.Printf("saved model to %s", *savePath)
 	}
 
-	generateAndWrite(model, sizes, *outDir, *samples, *seed, !*noGam)
+	generateAndWrite(model, sizes, *outDir, *samples, *seed, !*noGam, tel)
+}
+
+// telemetry bundles the optional observer state the flags configured.
+type telemetry struct {
+	hooks    *obs.Hooks
+	trace    *obs.Trace
+	traceOut string
+}
+
+// flush ends the trace, writes the JSONL file, and prints the phase
+// summary. No-op when tracing is off.
+func (tel telemetry) flush() {
+	if tel.trace == nil {
+		return
+	}
+	tel.trace.Root().End()
+	f, err := os.Create(tel.traceOut)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	if err := tel.trace.WriteJSONL(f); err != nil {
+		f.Close()
+		log.Fatalf("trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	fmt.Println("== phase trace ==")
+	fmt.Print(tel.trace.Summary())
+	log.Printf("trace written to %s", tel.traceOut)
 }
 
 // generateAndWrite runs the generation phase and writes one CSV per table.
-func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samples int, seed int64, gam bool) {
+func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samples int, seed int64, gam bool, tel telemetry) {
 	gen, err := core.FromModel(model, sizes)
 	if err != nil {
 		log.Fatal(err)
@@ -149,6 +213,8 @@ func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samp
 	opts := core.DefaultGenOptions(seed + 1)
 	opts.Samples = samples
 	opts.GroupAndMerge = gam
+	opts.Hooks = tel.hooks
+	opts.Span = tel.trace.Root()
 	start := time.Now()
 	db, err := gen.Generate(func() join.TupleSampler { return model.NewSampler() }, opts)
 	if err != nil {
@@ -174,4 +240,5 @@ func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samp
 		}
 		log.Printf("wrote %s (%d rows)", path, t.NumRows())
 	}
+	tel.flush()
 }

@@ -19,6 +19,7 @@ import (
 
 	"sam/internal/ar"
 	"sam/internal/nn"
+	"sam/internal/obs"
 	"sam/internal/relation"
 	"sam/internal/workload"
 )
@@ -29,7 +30,16 @@ func main() {
 	schemaPath := flag.String("schema", "", "schema metadata (JSON)")
 	modelPath := flag.String("model", "", "model saved by samgen -save")
 	marginals := flag.Int("marginals", 2000, "samples used to estimate model marginals")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Printf("debug server on http://%s (pprof, expvar, metrics)", addr)
+	}
 
 	var spec relation.SchemaSpec
 	if *schemaPath != "" {

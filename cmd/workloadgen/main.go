@@ -16,6 +16,7 @@ import (
 
 	"sam/internal/datagen"
 	"sam/internal/engine"
+	"sam/internal/obs"
 	"sam/internal/relation"
 	"sam/internal/sqlparse"
 	"sam/internal/workload"
@@ -31,7 +32,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	coverage := flag.Float64("coverage", 0, "restrict literals to this fraction of each domain (0 = full)")
 	sqlFile := flag.String("sqlfile", "", "label the COUNT(*) SQL statements in this file instead of generating random queries")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Printf("debug server on http://%s (pprof, expvar, metrics)", addr)
+	}
 
 	var s *relation.Schema
 	switch *dataset {

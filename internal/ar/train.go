@@ -6,9 +6,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"sam/internal/join"
 	"sam/internal/nn"
+	"sam/internal/obs"
 	"sam/internal/tensor"
 	"sam/internal/workload"
 )
@@ -28,6 +30,14 @@ type TrainConfig struct {
 
 	// Logf, when non-nil, receives one progress line per epoch.
 	Logf func(format string, args ...any)
+
+	// Hooks, when non-nil, observes training: per-epoch loss/grad-norm/
+	// throughput and per-step loss/latency. A nil Hooks adds zero cost —
+	// the warm train step stays allocation-free (see alloc_test.go).
+	Hooks *obs.Hooks
+	// Span, when non-nil, is the parent trace span; Train records a
+	// "train" child span with compile and epoch-loop phases under it.
+	Span *obs.Span
 }
 
 // DefaultTrainConfig returns CPU-scale defaults.
@@ -62,6 +72,14 @@ func Train(layout *join.Layout, wl *workload.Workload, population float64, cfg T
 	if cfg.ProgressiveSamples <= 0 {
 		cfg.ProgressiveSamples = 1
 	}
+	span := cfg.Span.Child("train")
+	defer span.End()
+	span.SetAttr("queries", wl.Len())
+	span.SetAttr("epochs", cfg.Epochs)
+	span.SetAttr("batch", cfg.BatchSize)
+	span.SetAttr("seed", cfg.Seed)
+
+	compileSpan := span.Child("compile")
 	m := NewModel(layout, wl.Queries, population, cfg.Model)
 
 	// Precompile the workload.
@@ -85,6 +103,8 @@ func Train(layout *join.Layout, wl *workload.Workload, population float64, cfg T
 	if dropped > 0 && cfg.Logf != nil {
 		cfg.Logf("ar: dropped %d unsatisfiable queries", dropped)
 	}
+	compileSpan.SetAttr("dropped", dropped)
+	compileSpan.End()
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("ar: no trainable queries after compilation")
 	}
@@ -98,36 +118,94 @@ func Train(layout *join.Layout, wl *workload.Workload, population float64, cfg T
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tr := newTrainer(m, specs, targets, cfg, opt, workers)
 
+	epochsSpan := span.Child("epochs")
+	defer epochsSpan.End()
 	order := make([]int, len(specs))
 	for i := range order {
 		order[i] = i
 	}
+	observe := cfg.Hooks.WantsTrainStep() || cfg.Hooks.WantsTrainEpoch()
+	totalSteps := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		var steps int
+		var epochStart time.Time
+		if observe {
+			epochStart = time.Now()
+		}
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(order) {
 				end = len(order)
 			}
 			batch := order[start:end]
-			loss := tr.step(batch, rng.Int63())
+			var stepStart time.Time
+			if observe {
+				stepStart = time.Now()
+			}
+			loss := tr.step(batch, rng.Int63(), observe)
 			epochLoss += loss
 			steps++
+			totalSteps++
+			if cfg.Hooks.WantsTrainStep() {
+				cfg.Hooks.TrainStep(obs.TrainStep{
+					Step:     totalSteps,
+					Loss:     loss,
+					GradNorm: tr.lastGradNorm,
+					Wall:     time.Since(stepStart),
+				})
+			}
+		}
+		if cfg.Hooks.WantsTrainEpoch() {
+			cfg.Hooks.TrainEpoch(obs.TrainEpoch{
+				Epoch:    epoch + 1,
+				Epochs:   cfg.Epochs,
+				Loss:     epochLoss / float64(steps),
+				GradNorm: tr.lastGradNorm,
+				Steps:    steps,
+				Wall:     time.Since(epochStart),
+			})
 		}
 		if cfg.Logf != nil {
 			cfg.Logf("ar: epoch %d/%d mean batch loss %.4f", epoch+1, cfg.Epochs, epochLoss/float64(steps))
 		}
 	}
+	epochsSpan.SetAttr("steps", totalSteps)
 	return m, nil
 }
 
+// chunkScratch holds the per-column working slices one worker reuses across
+// forwardChunk calls, so the steady-state step allocates nothing.
+type chunkScratch struct {
+	masks   []*tensor.Tensor
+	anyDown []bool
+	deltas  []*tensor.Tensor
+	parts   []*tensor.Node
+}
+
+func newChunkScratch(ncols int) chunkScratch {
+	return chunkScratch{
+		masks:   make([]*tensor.Tensor, ncols),
+		anyDown: make([]bool, ncols),
+		deltas:  make([]*tensor.Tensor, ncols),
+		parts:   make([]*tensor.Node, ncols),
+	}
+}
+
+// trainWorker is one worker's persistent state: a pooled gradient tape, a
+// reseedable RNG, gradient views, and the chunk scratch buffers.
+type trainWorker struct {
+	tape    *tensor.Graph
+	rng     *rand.Rand
+	grads   []*tensor.Tensor // per param; views into the tape
+	scratch chunkScratch
+}
+
 // trainer bundles the state reused across optimizer steps: one persistent
-// gradient tape per worker (Reset between steps so tensor buffers are
-// pooled) plus the merged-gradient and bookkeeping buffers, so the steady
-// state of a training run performs no per-step heap allocation beyond what
-// the tapes pool internally.
+// worker (tape + scratch, Reset between steps so tensor buffers are pooled)
+// per goroutine plus the merged-gradient and bookkeeping buffers, so the
+// steady state of a training run performs no per-step heap allocation.
 type trainer struct {
 	m       *Model
 	specs   []*Spec
@@ -136,16 +214,18 @@ type trainer struct {
 	opt     *nn.Adam
 	params  []*tensor.Tensor
 
-	tapes  []*tensor.Graph
-	grads  [][]*tensor.Tensor // per worker, per param; views into the tapes
-	losses []float64
-	counts []int
-	pairs  []nn.GradPair // Grad fields are persistent merge buffers
+	workers []*trainWorker
+	losses  []float64
+	counts  []int
+	pairs   []nn.GradPair // Grad fields are persistent merge buffers
+
+	lastGradNorm float64 // global norm of the last merged gradient (observed steps only)
 }
 
 func newTrainer(m *Model, specs []*Spec, targets []float64, cfg TrainConfig,
 	opt *nn.Adam, workers int) *trainer {
 	params := m.Net.Params()
+	ncols := m.Layout.NumCols()
 	tr := &trainer{
 		m:       m,
 		specs:   specs,
@@ -153,15 +233,18 @@ func newTrainer(m *Model, specs []*Spec, targets []float64, cfg TrainConfig,
 		cfg:     cfg,
 		opt:     opt,
 		params:  params,
-		tapes:   make([]*tensor.Graph, workers),
-		grads:   make([][]*tensor.Tensor, workers),
+		workers: make([]*trainWorker, workers),
 		losses:  make([]float64, workers),
 		counts:  make([]int, workers),
 		pairs:   make([]nn.GradPair, len(params)),
 	}
-	for w := range tr.tapes {
-		tr.tapes[w] = tensor.NewGraph()
-		tr.grads[w] = make([]*tensor.Tensor, len(params))
+	for w := range tr.workers {
+		tr.workers[w] = &trainWorker{
+			tape:    tensor.NewGraph(),
+			rng:     rand.New(rand.NewSource(0)),
+			grads:   make([]*tensor.Tensor, len(params)),
+			scratch: newChunkScratch(ncols),
+		}
 	}
 	for pi, p := range params {
 		tr.pairs[pi] = nn.GradPair{Param: p, Grad: tensor.New(p.Rows, p.Cols)}
@@ -169,11 +252,27 @@ func newTrainer(m *Model, specs []*Spec, targets []float64, cfg TrainConfig,
 	return tr
 }
 
+// runChunk reseeds the worker's RNG and runs one forward+backward chunk on
+// its tape, publishing gradients, loss, and count.
+func (tr *trainer) runChunk(w int, batch []int, seed int64) {
+	ws := tr.workers[w]
+	ws.rng.Seed(seed)
+	loss := forwardChunk(tr.m, ws.tape, &ws.scratch, tr.specs, tr.targets, batch, tr.cfg, ws.rng)
+	for pi, p := range tr.params {
+		ws.grads[pi] = ws.tape.ParamGrad(p)
+	}
+	tr.losses[w] = loss
+	tr.counts[w] = len(batch)
+}
+
 // step runs one optimizer step over the batch, fanning the rows out to
 // worker goroutines, each with its own persistent tape, then merging
-// gradients into the trainer's reused buffers.
-func (tr *trainer) step(batch []int, seed int64) float64 {
-	workers := len(tr.tapes)
+// gradients into the trainer's reused buffers. A single worker runs inline
+// on the calling goroutine, keeping the warm step allocation-free. With
+// observe set, the merged gradient's global norm is recorded in
+// lastGradNorm before clipping.
+func (tr *trainer) step(batch []int, seed int64, observe bool) float64 {
+	workers := len(tr.workers)
 	if workers > len(batch) {
 		workers = len(batch)
 	}
@@ -181,29 +280,26 @@ func (tr *trainer) step(batch []int, seed int64) float64 {
 	for w := range tr.counts {
 		tr.counts[w] = 0
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(batch) {
-			hi = len(batch)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			wrng := rand.New(rand.NewSource(seed + int64(w)))
-			g := tr.tapes[w]
-			loss := forwardChunk(tr.m, g, tr.specs, tr.targets, batch[lo:hi], tr.cfg, wrng)
-			for pi, p := range tr.params {
-				tr.grads[w][pi] = g.ParamGrad(p)
+	if workers == 1 {
+		tr.runChunk(0, batch, seed)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(batch) {
+				hi = len(batch)
 			}
-			tr.losses[w] = loss
-			tr.counts[w] = hi - lo
-		}(w, lo, hi)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				tr.runChunk(w, batch[lo:hi], seed+int64(w))
+			}(w, lo, hi)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	// Merge: weighted sum of per-worker mean gradients.
 	total := 0
@@ -214,18 +310,27 @@ func (tr *trainer) step(batch []int, seed int64) float64 {
 	for pi := range tr.params {
 		merged := tr.pairs[pi].Grad
 		merged.Zero()
-		for w := range tr.grads {
-			if tr.counts[w] == 0 || tr.grads[w][pi] == nil {
+		for w, ws := range tr.workers {
+			if tr.counts[w] == 0 || ws.grads[pi] == nil {
 				continue
 			}
 			scale := float64(tr.counts[w]) / float64(total)
-			for i, gv := range tr.grads[w][pi].Data {
+			for i, gv := range ws.grads[pi].Data {
 				merged.Data[i] += gv * scale
 			}
 		}
 	}
 	for w, loss := range tr.losses {
 		lossSum += loss * float64(tr.counts[w])
+	}
+	if observe {
+		var norm2 float64
+		for pi := range tr.pairs {
+			for _, gv := range tr.pairs[pi].Grad.Data {
+				norm2 += gv * gv
+			}
+		}
+		tr.lastGradNorm = math.Sqrt(norm2)
 	}
 	tr.opt.Step(tr.pairs)
 	return lossSum / float64(total)
@@ -234,18 +339,19 @@ func (tr *trainer) step(batch []int, seed int64) float64 {
 // forwardChunk builds the DPS graph for a set of queries (rows) on the
 // given tape and runs backward; it returns the chunk's mean loss. The tape
 // is Reset first, so all scratch comes from its pool and gradients read via
-// ParamGrad stay valid until the next call with the same tape.
-func forwardChunk(m *Model, g *tensor.Graph, specs []*Spec, targets []float64, rows []int,
-	cfg TrainConfig, rng *rand.Rand) float64 {
+// ParamGrad stay valid until the next call with the same tape. The scratch
+// slices are caller-owned and reused across calls.
+func forwardChunk(m *Model, g *tensor.Graph, sc *chunkScratch, specs []*Spec, targets []float64,
+	rows []int, cfg TrainConfig, rng *rand.Rand) float64 {
 	n := len(rows)
 	ncols := m.Layout.NumCols()
 	g.Reset()
 
 	// Per-column mask tensors shared by all progressive samples.
-	masks := make([]*tensor.Tensor, ncols)
-	anyDown := make([]bool, ncols)
-	deltas := make([]*tensor.Tensor, ncols)
+	masks, anyDown, deltas := sc.masks, sc.anyDown, sc.deltas
 	for i := 0; i < ncols; i++ {
+		anyDown[i] = false
+		deltas[i] = nil
 		bins := m.Disc[i].Bins()
 		mk := g.NewTensor(n, bins)
 		for r, qi := range rows {
@@ -292,7 +398,7 @@ func forwardChunk(m *Model, g *tensor.Graph, specs []*Spec, targets []float64, r
 
 	var selAccum *tensor.Node
 	for s := 0; s < cfg.ProgressiveSamples; s++ {
-		sel := progressiveChain(m, g, masks, anyDown, deltas, n, lastNeeded, cfg.Tau, rng)
+		sel := progressiveChain(m, g, sc, n, lastNeeded, cfg.Tau, rng)
 		if selAccum == nil {
 			selAccum = sel
 		} else {
@@ -315,11 +421,12 @@ func forwardChunk(m *Model, g *tensor.Graph, specs []*Spec, targets []float64, r
 
 // progressiveChain runs one differentiable progressive-sampling pass up to
 // column lastNeeded (inclusive) and returns the per-row selectivity
-// estimate (n×1 node).
-func progressiveChain(m *Model, g *tensor.Graph, masks []*tensor.Tensor, anyDown []bool,
-	deltas []*tensor.Tensor, n, lastNeeded int, tau float64, rng *rand.Rand) *tensor.Node {
+// estimate (n×1 node). Masks, downweight flags, and delta tensors are read
+// from the scratch filled by forwardChunk.
+func progressiveChain(m *Model, g *tensor.Graph, sc *chunkScratch,
+	n, lastNeeded int, tau float64, rng *rand.Rand) *tensor.Node {
 	ncols := m.Layout.NumCols()
-	parts := make([]*tensor.Node, ncols)
+	parts := sc.parts
 	for i := 0; i < ncols; i++ {
 		parts[i] = g.Const(g.NewTensor(n, m.Disc[i].Bins()))
 	}
@@ -328,22 +435,22 @@ func progressiveChain(m *Model, g *tensor.Graph, masks []*tensor.Tensor, anyDown
 		x := g.ConcatCols(parts...)
 		out := m.Net.Forward(g, x)
 		logits := g.SliceCols(out, m.Net.Offsets()[i], m.Net.ColSizes()[i])
-		p := g.RangeProb(logits, masks[i])
+		p := g.RangeProb(logits, sc.masks[i])
 		if sel == nil {
 			sel = p
 		} else {
 			sel = g.MulElem(sel, p)
 		}
-		y := g.STGumbel(logits, masks[i], tau, rng)
+		y := g.STGumbel(logits, sc.masks[i], tau, rng)
 		parts[i] = y
-		if anyDown[i] {
+		if sc.anyDown[i] {
 			val := g.Dot(y, m.Layout.Cols[i].WeightVals)
 			recip := g.Reciprocal(val)
 			oneMinus := g.NewTensor(n, 1)
 			for r := 0; r < n; r++ {
-				oneMinus.Set(r, 0, 1-deltas[i].At(r, 0))
+				oneMinus.Set(r, 0, 1-sc.deltas[i].At(r, 0))
 			}
-			factor := g.Add(g.MulElem(recip, g.Const(deltas[i])), g.Const(oneMinus))
+			factor := g.Add(g.MulElem(recip, g.Const(sc.deltas[i])), g.Const(oneMinus))
 			sel = g.MulElem(sel, factor)
 		}
 	}

@@ -3,8 +3,10 @@ package core
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"sam/internal/join"
+	"sam/internal/obs"
 	"sam/internal/relation"
 )
 
@@ -67,13 +69,14 @@ func (g *Generator) groupBins(row []int32, idCols []int, dst []int32) {
 // one cell split across several keys — the generalization needed when the
 // sample budget is much smaller than the full outer join, so individual
 // scaled weights exceed 1.
-func (g *Generator) materializeGaM(flat []int32, k int, weights map[string][]float64, rng *rand.Rand) (*relation.Schema, error) {
+func (g *Generator) materializeGaM(flat []int32, k int, weights map[string][]float64, rng *rand.Rand, opts GenOptions) (*relation.Schema, error) {
 	ncols := g.Layout.NumCols()
 	sample := func(i int) []int32 { return flat[i*ncols : (i+1)*ncols] }
 	tables := g.newEmptyTables()
 	spansOf := make(map[string][][]keySpan) // pk table → per-sample spans
 
 	for _, t := range g.Layout.Schema.Tables {
+		tStart := time.Now()
 		out := tables[t.Name]
 		hasChildren := len(g.Layout.Schema.Children(t.Name)) > 0
 		fanIdx, hasFan := g.Layout.FanoutIndex(t.Name)
@@ -84,7 +87,11 @@ func (g *Generator) materializeGaM(flat []int32, k int, weights map[string][]flo
 		w := weights[t.Name]
 
 		if !hasChildren {
-			g.materializeLeaf(out, t, sample, k, w, parentSpans, fanIdx, hasFan, rng)
+			groups := g.materializeLeaf(out, t, sample, k, w, parentSpans, fanIdx, hasFan, rng)
+			opts.Hooks.GenPhase(obs.GenPhase{
+				Phase: "merge", Table: t.Name, Tuples: out.NumRows(),
+				Groups: groups, Wall: time.Since(tStart),
+			})
 			continue
 		}
 
@@ -197,6 +204,10 @@ func (g *Generator) materializeGaM(flat []int32, k int, weights map[string][]flo
 				out.FK = append(out.FK, reprParent[key])
 			}
 		}
+		opts.Hooks.GenPhase(obs.GenPhase{
+			Phase: "merge", Table: t.Name, Tuples: out.NumRows(),
+			Groups: len(order), Wall: time.Since(tStart),
+		})
 	}
 	return g.finishSchema(tables)
 }
@@ -204,10 +215,11 @@ func (g *Generator) materializeGaM(flat []int32, k int, weights map[string][]flo
 // materializeLeaf replicates a leaf relation to exactly |T| rows:
 // per-sample scaled weights are spread over the sample's parent-key spans,
 // aggregated by (parent key, content bins) — "aggregating the scaled
-// weights" within each merged set — and rounded by largest remainder.
+// weights" within each merged set — and rounded by largest remainder. It
+// returns the number of merge groups formed (telemetry).
 func (g *Generator) materializeLeaf(out *relation.Table, t *relation.Table,
 	sample func(int) []int32, k int, w []float64, parentSpans [][]keySpan,
-	fanIdx int, hasFan bool, rng *rand.Rand) {
+	fanIdx int, hasFan bool, rng *rand.Rand) int {
 	contentCols := g.Layout.ContentColumns(t.Name)
 	type agg struct {
 		weight float64
@@ -272,6 +284,7 @@ func (g *Generator) materializeLeaf(out *relation.Table, t *relation.Table,
 			}
 		}
 	}
+	return len(order)
 }
 
 // materializeViews is the "SAM w/o Group-and-Merge" ablation: foreign keys
@@ -280,7 +293,7 @@ func (g *Generator) materializeLeaf(out *relation.Table, t *relation.Table,
 // parent rows whose content matches the child's sampled parent content,
 // which preserves pairwise correlation but breaks the joint distribution
 // across three or more relations.
-func (g *Generator) materializeViews(flat []int32, k int, weights map[string][]float64, rng *rand.Rand) (*relation.Schema, error) {
+func (g *Generator) materializeViews(flat []int32, k int, weights map[string][]float64, rng *rand.Rand, opts GenOptions) (*relation.Schema, error) {
 	ncols := g.Layout.NumCols()
 	sample := func(i int) []int32 { return flat[i*ncols : (i+1)*ncols] }
 	tables := g.newEmptyTables()
@@ -288,6 +301,7 @@ func (g *Generator) materializeViews(flat []int32, k int, weights map[string][]f
 	pkAll := make(map[string][]int64)
 
 	for _, t := range g.Layout.Schema.Tables {
+		tStart := time.Now()
 		out := tables[t.Name]
 		hasChildren := len(g.Layout.Schema.Children(t.Name)) > 0
 		contentCols := g.Layout.ContentColumns(t.Name)
@@ -357,6 +371,10 @@ func (g *Generator) materializeViews(flat []int32, k int, weights map[string][]f
 				}
 			}
 		}
+		opts.Hooks.GenPhase(obs.GenPhase{
+			Phase: "merge", Table: t.Name, Tuples: out.NumRows(),
+			Groups: len(order), Wall: time.Since(tStart),
+		})
 	}
 	return g.finishSchema(tables)
 }

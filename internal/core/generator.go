@@ -15,9 +15,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"sam/internal/ar"
 	"sam/internal/join"
+	"sam/internal/obs"
 	"sam/internal/relation"
 )
 
@@ -34,6 +36,13 @@ type GenOptions struct {
 	// false is the paper's "SAM w/o Group-and-Merge" ablation, which
 	// assigns foreign keys from pairwise views (Figure 4).
 	GroupAndMerge bool
+
+	// Hooks, when non-nil, observes the generation phases: tuples sampled,
+	// per-table weight mass before/after scaling, and merge-group counts.
+	Hooks *obs.Hooks
+	// Span, when non-nil, is the parent trace span; generation records
+	// sample/weight/merge child spans under it.
+	Span *obs.Span
 }
 
 // DefaultGenOptions returns options matching the paper's main configuration.
@@ -87,6 +96,9 @@ func (g *Generator) Generate(newSampler func() join.TupleSampler, opts GenOption
 // drawSamples draws k FOJ tuples in parallel and sanitizes presence
 // consistency.
 func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts GenOptions) []int32 {
+	span := opts.Span.Child("sample")
+	defer span.End()
+	start := time.Now()
 	ncols := g.Layout.NumCols()
 	flat := make([]int32, k*ncols)
 	workers := opts.Workers
@@ -96,6 +108,8 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 	if workers > k {
 		workers = k
 	}
+	span.SetAttr("tuples", k)
+	span.SetAttr("workers", workers)
 	var wg sync.WaitGroup
 	chunk := (k + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -119,6 +133,7 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	opts.Hooks.GenPhase(obs.GenPhase{Phase: "sample", Tuples: k, Wall: time.Since(start)})
 	return flat
 }
 
@@ -156,8 +171,10 @@ func (g *Generator) Materialize(flat []int32, opts GenOptions) (*relation.Schema
 	sample := func(i int) []int32 { return flat[i*ncols : (i+1)*ncols] }
 
 	// Algorithm 2: inverse probability weighting and scaling, per table.
+	weightSpan := opts.Span.Child("weight")
 	weights := make(map[string][]float64, len(g.Layout.Schema.Tables))
 	for _, t := range g.Layout.Schema.Tables {
+		tStart := time.Now()
 		w := make([]float64, k)
 		down := g.Layout.DownweightColumns([]string{t.Name})
 		fanIdx, hasFan := g.Layout.FanoutIndex(t.Name)
@@ -175,6 +192,7 @@ func (g *Generator) Materialize(flat []int32, opts GenOptions) (*relation.Schema
 			sum += wi
 		}
 		if sum == 0 {
+			weightSpan.End()
 			return nil, fmt.Errorf("core: no full-outer-join sample contains relation %s", t.Name)
 		}
 		factor := float64(g.Sizes[t.Name]) / sum // scaling step
@@ -182,13 +200,23 @@ func (g *Generator) Materialize(flat []int32, opts GenOptions) (*relation.Schema
 			w[i] *= factor
 		}
 		weights[t.Name] = w
+		weightSpan.SetAttr("mass_"+t.Name, sum)
+		opts.Hooks.GenPhase(obs.GenPhase{
+			Phase: "weight", Table: t.Name, Tuples: k,
+			MassBefore: sum, MassAfter: float64(g.Sizes[t.Name]),
+			Wall: time.Since(tStart),
+		})
 	}
+	weightSpan.End()
 
+	mergeSpan := opts.Span.Child("merge")
+	defer mergeSpan.End()
+	mergeSpan.SetAttr("group_and_merge", opts.GroupAndMerge)
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5a17))
 	if opts.GroupAndMerge {
-		return g.materializeGaM(flat, k, weights, rng)
+		return g.materializeGaM(flat, k, weights, rng, opts)
 	}
-	return g.materializeViews(flat, k, weights, rng)
+	return g.materializeViews(flat, k, weights, rng, opts)
 }
 
 // binKey serializes selected columns of a sample into a map key.

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"time"
+
+	"sam/internal/metrics"
+	"sam/internal/obs"
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+// EvalWorkload executes each constraint's query against s and returns the
+// Q-Errors of the measured cardinalities versus the recorded ground truth.
+// When h is non-nil every query emits an obs.EvalQuery event carrying its
+// estimated and true cardinality, Q-Error, and wall-clock latency — the
+// signal behind the eval_qerror / eval_query_seconds metrics and -progress
+// output. Queries run sequentially so per-query latencies are undistorted
+// by sibling work.
+func EvalWorkload(s *relation.Schema, queries []workload.CardQuery, h *obs.Hooks) []float64 {
+	out := make([]float64, 0, len(queries))
+	for i := range queries {
+		start := time.Now()
+		got := Card(s, &queries[i].Query)
+		wall := time.Since(start)
+		qe := metrics.QError(float64(got), float64(queries[i].Card))
+		out = append(out, qe)
+		h.EvalQuery(obs.EvalQuery{
+			Card:   got,
+			Truth:  queries[i].Card,
+			QError: qe,
+			Wall:   wall,
+		})
+	}
+	return out
+}

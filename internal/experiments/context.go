@@ -11,6 +11,7 @@ import (
 	"sam/internal/datagen"
 	"sam/internal/engine"
 	"sam/internal/join"
+	"sam/internal/obs"
 	"sam/internal/pgm"
 	"sam/internal/relation"
 	"sam/internal/workload"
@@ -43,6 +44,13 @@ type Bundle struct {
 type Context struct {
 	Scale Scale
 	Logf  func(format string, args ...any)
+
+	// Hooks receives telemetry events (per-epoch loss, generation phases,
+	// per-query eval stats) from every experiment run through this context;
+	// Span is the parent trace span under which training, generation, and
+	// evaluation record their phase tree. Both may be nil (telemetry off).
+	Hooks *obs.Hooks
+	Span  *obs.Span
 
 	mu     sync.Mutex
 	census *Bundle
@@ -215,6 +223,8 @@ func (c *Context) SAMModel(b *Bundle, nQueries int) (*ar.Model, time.Duration) {
 	cfg.LR = s.LR
 	cfg.Model.Hidden = s.Hidden
 	cfg.Seed = s.Seed
+	cfg.Hooks = c.Hooks
+	cfg.Span = c.Span
 	// Fixed-time protocol (§5.1): every method gets the same wall-clock
 	// budget, so the tiny PGM-feasible workloads (Table 2) buy many more
 	// optimizer steps, not fewer. Applied only below one batch so the
@@ -260,6 +270,8 @@ func (c *Context) SAMDB(b *Bundle, nQueries, samples int, gam bool) (*relation.S
 	opts := core.DefaultGenOptions(c.Scale.Seed + 7)
 	opts.Samples = samples
 	opts.GroupAndMerge = gam
+	opts.Hooks = c.Hooks
+	opts.Span = c.Span
 	c.Logf("generating %s database from SAM (k=%d, gam=%v)", b.Name, samples, gam)
 	start := time.Now()
 	db, err := gen.Generate(func() join.TupleSampler { return m.NewSampler() }, opts)

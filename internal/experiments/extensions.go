@@ -69,7 +69,7 @@ func ExtBackbones(c *Context) *Report {
 			r.Notes = append(r.Notes, fmt.Sprintf("%s: %v", arch, err))
 			continue
 		}
-		qe := qErrorsOn(db, wl.Queries)
+		qe := c.qErrorsOn(db, wl.Queries)
 		sum := metrics.Summarize(qe)
 		h := metrics.CrossEntropyBits(b.Orig.Tables[0], db.Tables[0])
 		r.Rows = append(r.Rows, []string{arch,
@@ -140,7 +140,7 @@ func ExtIndependence(c *Context) *Report {
 	}
 	b := c.Census()
 	addRow := func(name string, db *relation.Schema) {
-		qe := qErrorsOn(db, b.Test.Queries)
+		qe := c.qErrorsOn(db, b.Test.Queries)
 		sum := metrics.Summarize(qe)
 		h := metrics.CrossEntropyBits(b.Orig.Tables[0], db.Tables[0])
 		r.Rows = append(r.Rows, []string{name, fmtG(sum.Median), fmtG(sum.Mean), fmtG(h)})

@@ -62,7 +62,7 @@ func Figure6(c *Context) *Report {
 	eval := sampleQueries(b.Train, c.Scale.EvalInputQ)
 	for _, k := range c.Scale.Fig6Samples {
 		db, el := c.SAMDB(b, 0, k, true)
-		qe := qErrorsOn(db, eval)
+		qe := c.qErrorsOn(db, eval)
 		sum := metrics.Summarize(qe)
 		r.Rows = append(r.Rows, []string{fmt.Sprint(k), fmt.Sprintf("%.2f", el.Seconds()), fmtG(sum.Median)})
 	}
@@ -85,7 +85,7 @@ func Figure7(c *Context) *Report {
 		}
 		db, _ := c.SAMDB(b, n, 0, true)
 		h := metrics.CrossEntropyBits(b.Orig.Tables[0], db.Tables[0])
-		qe := qErrorsOn(db, b.Test.Queries)
+		qe := c.qErrorsOn(db, b.Test.Queries)
 		sum := metrics.Summarize(qe)
 		r.Rows = append(r.Rows, []string{fmt.Sprint(n), fmtG(h), fmtG(sum.Mean)})
 	}
@@ -134,7 +134,7 @@ func Figure8(c *Context) *Report {
 			continue
 		}
 		h := metrics.CrossEntropyBits(b.Orig.Tables[0], db.Tables[0])
-		qe := qErrorsOn(db, b.Test.Queries)
+		qe := c.qErrorsOn(db, b.Test.Queries)
 		sum := metrics.Summarize(qe)
 		r.Rows = append(r.Rows, []string{fmt.Sprintf("%.2f", cov), fmtG(h), fmtG(sum.Mean)})
 	}

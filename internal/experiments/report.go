@@ -85,13 +85,14 @@ func summaryCells(s metrics.Summary, withMax bool) []string {
 }
 
 // qErrorsOn executes each constraint's query on db and returns the
-// Q-Errors against the recorded cardinalities.
-func qErrorsOn(db *relation.Schema, queries []workload.CardQuery) []float64 {
-	out := make([]float64, 0, len(queries))
-	for i := range queries {
-		got := engine.Card(db, &queries[i].Query)
-		out = append(out, metrics.QError(float64(got), float64(queries[i].Card)))
-	}
+// Q-Errors against the recorded cardinalities. Each evaluation records an
+// "eval" span under the context's trace and streams per-query events to
+// the context's hooks.
+func (c *Context) qErrorsOn(db *relation.Schema, queries []workload.CardQuery) []float64 {
+	span := c.Span.Child("eval")
+	span.SetAttr("queries", len(queries))
+	out := engine.EvalWorkload(db, queries, c.Hooks)
+	span.End()
 	return out
 }
 

@@ -89,6 +89,41 @@ func QuickScale() Scale {
 	}
 }
 
+// SmokeScale returns a drastically shrunk configuration for CI smoke runs
+// and trace validation: every dataset, workload, and model knob is cut to
+// the minimum that still drives the full pipeline (train → sample → weight
+// → merge → eval), so a single experiment finishes in seconds.
+func SmokeScale() Scale {
+	s := QuickScale()
+	s.CensusRows = 800
+	s.DMVRows = 600
+	s.IMDBTitles = 200
+
+	s.CensusTrainQ = 120
+	s.DMVTrainQ = 80
+	s.IMDBTrainQ = 120
+	s.TestQ = 40
+	s.JOBLightQ = 10
+
+	s.TinyCensusQ = 6
+	s.TinyDMVQ = 5
+	s.SmallIMDBQ = 20
+
+	s.EvalInputQ = 40
+
+	s.Epochs = 2
+	s.Hidden = 16
+	s.Batch = 32
+
+	s.IMDBSamples = 4000
+	s.Fig5SAMPoints = []int{30, 60, 120}
+	s.Fig5PGMPoints = []int{2, 4, 8}
+	s.PGMPointCap = 2 * time.Second
+	s.Fig6Samples = []int{500, 1000}
+	s.LatencyReps = 1
+	return s
+}
+
 // FullScale returns a configuration close to the paper's sizes; expect
 // multi-hour runtimes on CPU.
 func FullScale() Scale {

@@ -17,7 +17,7 @@ func Table1(c *Context) *Report {
 	}
 	for _, b := range []*Bundle{c.Census(), c.DMV()} {
 		db, _ := c.SAMDB(b, 0, 0, true)
-		qe := qErrorsOn(db, sampleQueries(b.Train, c.Scale.EvalInputQ))
+		qe := c.qErrorsOn(db, sampleQueries(b.Train, c.Scale.EvalInputQ))
 		r.Rows = append(r.Rows, append([]string{"SAM", b.Name}, summaryCells(metrics.Summarize(qe), false)...))
 	}
 	r.Notes = append(r.Notes, fmt.Sprintf("input workloads: census %d, dmv %d queries; evaluated on %d sampled constraints",
@@ -40,14 +40,14 @@ func Table2(c *Context) *Report {
 		b := item.b
 		queries := b.Train.Prefix(item.tiny).Queries
 		if db, _, err := c.PGMDB(b, item.tiny); err == nil {
-			qe := qErrorsOn(db, queries)
+			qe := c.qErrorsOn(db, queries)
 			r.Rows = append(r.Rows, append([]string{"PGM", b.Name, fmt.Sprint(item.tiny)},
 				summaryCells(metrics.Summarize(qe), false)...))
 		} else {
 			r.Notes = append(r.Notes, fmt.Sprintf("PGM failed on %s: %v", b.Name, err))
 		}
 		db, _ := c.SAMDB(b, item.tiny, 0, true)
-		qe := qErrorsOn(db, queries)
+		qe := c.qErrorsOn(db, queries)
 		r.Rows = append(r.Rows, append([]string{"SAM", b.Name, fmt.Sprint(item.tiny)},
 			summaryCells(metrics.Summarize(qe), false)...))
 	}
@@ -70,7 +70,7 @@ func Table3(c *Context) *Report {
 		if !gam {
 			name = "SAM w/o Group-and-Merge"
 		}
-		qe := qErrorsOn(db, eval)
+		qe := c.qErrorsOn(db, eval)
 		r.Rows = append(r.Rows, append([]string{name}, summaryCells(metrics.Summarize(qe), true)...))
 	}
 	r.Notes = append(r.Notes, fmt.Sprintf("input workload: %d queries; evaluated on %d sampled constraints",
@@ -90,7 +90,7 @@ func Table4(c *Context) *Report {
 	n := c.Scale.SmallIMDBQ
 	queries := b.Train.Prefix(n).Queries
 	if db, _, err := c.PGMDB(b, n); err == nil {
-		qe := qErrorsOn(db, queries)
+		qe := c.qErrorsOn(db, queries)
 		r.Rows = append(r.Rows, append([]string{"PGM"}, summaryCells(metrics.Summarize(qe), true)...))
 	} else {
 		r.Notes = append(r.Notes, fmt.Sprintf("PGM failed: %v", err))
@@ -101,7 +101,7 @@ func Table4(c *Context) *Report {
 		if !gam {
 			name = "SAM w/o Group-and-Merge"
 		}
-		qe := qErrorsOn(db, queries)
+		qe := c.qErrorsOn(db, queries)
 		r.Rows = append(r.Rows, append([]string{name}, summaryCells(metrics.Summarize(qe), true)...))
 	}
 	return r
@@ -123,13 +123,13 @@ func Table5(c *Context) *Report {
 	}{{c.Census(), c.Scale.TinyCensusQ}, {c.DMV(), c.Scale.TinyDMVQ}} {
 		b := item.b
 		if db, _, err := c.PGMDB(b, item.tiny); err == nil {
-			qe := qErrorsOn(db, b.Test.Queries)
+			qe := c.qErrorsOn(db, b.Test.Queries)
 			r.Rows = append(r.Rows, append([]string{"PGM", b.Name}, summaryCells(metrics.Summarize(qe), false)...))
 		} else {
 			r.Notes = append(r.Notes, fmt.Sprintf("PGM failed on %s: %v", b.Name, err))
 		}
 		db, _ := c.SAMDB(b, 0, 0, true)
-		qe := qErrorsOn(db, b.Test.Queries)
+		qe := c.qErrorsOn(db, b.Test.Queries)
 		r.Rows = append(r.Rows, append([]string{"SAM", b.Name}, summaryCells(metrics.Summarize(qe), false)...))
 	}
 	r.Notes = append(r.Notes,
@@ -147,7 +147,7 @@ func Table6(c *Context) *Report {
 	}
 	b := c.IMDB()
 	if db, _, err := c.PGMDB(b, c.Scale.SmallIMDBQ); err == nil {
-		qe := qErrorsOn(db, b.Test.Queries)
+		qe := c.qErrorsOn(db, b.Test.Queries)
 		r.Rows = append(r.Rows, append([]string{"PGM"}, summaryCells(metrics.Summarize(qe), true)...))
 	} else {
 		r.Notes = append(r.Notes, fmt.Sprintf("PGM failed: %v", err))
@@ -158,7 +158,7 @@ func Table6(c *Context) *Report {
 		if !gam {
 			name = "SAM w/o Group-and-Merge"
 		}
-		qe := qErrorsOn(db, b.Test.Queries)
+		qe := c.qErrorsOn(db, b.Test.Queries)
 		r.Rows = append(r.Rows, append([]string{name}, summaryCells(metrics.Summarize(qe), true)...))
 	}
 	r.Notes = append(r.Notes, fmt.Sprintf("%d JOB-light-style queries joining up to %d relations",

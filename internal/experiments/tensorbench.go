@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sam/internal/nn"
+	"sam/internal/obs"
 	"sam/internal/tensor"
 )
 
@@ -27,6 +28,7 @@ type TensorBenchResult struct {
 // TensorBenchReport is the document written to BENCH_tensor.json.
 type TensorBenchReport struct {
 	Description string              `json:"description"`
+	Meta        obs.Meta            `json:"meta"`
 	Workers     int                 `json:"matmul_workers"`
 	Results     []TensorBenchResult `json:"results"`
 }
@@ -52,6 +54,7 @@ var tensorBenchBaselines = map[string][2]int64{ // name → {ns/op, allocs/op}
 func RunTensorBench() *TensorBenchReport {
 	rep := &TensorBenchReport{
 		Description: "tensor hot-path micro-benchmarks; before_* columns are the pre-overhaul seed measured on the same machine",
+		Meta:        obs.BuildMeta(),
 		Workers:     tensor.MatMulWorkers(),
 	}
 

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the registry under the "sam" expvar key (served at
+// /debug/vars). Safe to call repeatedly; only the first registry wins
+// (expvar panics on duplicate names).
+func PublishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("sam", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// ServeDebug starts an HTTP debug server on addr (e.g. ":6060") serving
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars, and the
+// registry snapshot as JSON under /metrics. It binds synchronously — so a
+// bad address fails fast — then serves in a background goroutine for the
+// life of the process. The bound address is returned (useful with ":0").
+func ServeDebug(addr string, r *Registry) (string, error) {
+	PublishExpvar(r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		buf, err := r.MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(buf)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// TrainEpoch describes one completed training epoch.
+type TrainEpoch struct {
+	Epoch, Epochs int
+	Loss          float64 // mean batch loss over the epoch
+	GradNorm      float64 // global gradient norm of the epoch's last step
+	Steps         int
+	Wall          time.Duration
+}
+
+// EpochsPerSec returns the epoch throughput implied by the wall time.
+func (e TrainEpoch) EpochsPerSec() float64 {
+	if e.Wall <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(e.Wall)
+}
+
+// TrainStep describes one optimizer step.
+type TrainStep struct {
+	Step     int // 1-based, cumulative across epochs
+	Loss     float64
+	GradNorm float64
+	Wall     time.Duration
+}
+
+// GenPhase describes one generation-phase event: FOJ sampling, inverse
+// probability weighting/scaling, or a table's Group-and-Merge pass.
+type GenPhase struct {
+	Phase  string // "sample", "weight", or "merge"
+	Table  string // empty for the sample phase
+	Tuples int    // tuples sampled or rows materialized
+	Groups int    // merge groups formed (merge phase)
+	// MassBefore/MassAfter are the table's total inverse-probability
+	// weight mass before and after scaling to |T| (weight phase).
+	MassBefore, MassAfter float64
+	Wall                  time.Duration
+}
+
+// EvalQuery describes one evaluated query.
+type EvalQuery struct {
+	Card   int64 // cardinality on the evaluated database
+	Truth  int64 // recorded true cardinality
+	QError float64
+	Wall   time.Duration
+}
+
+// Hooks is the pipeline observer: any subset of the callbacks may be set,
+// and a nil *Hooks (or nil callback) disables that signal with no
+// measurement cost — the hot paths check WantsX before computing inputs.
+type Hooks struct {
+	OnTrainEpoch func(TrainEpoch)
+	OnTrainStep  func(TrainStep)
+	OnGenPhase   func(GenPhase)
+	OnEvalQuery  func(EvalQuery)
+}
+
+// WantsTrainStep reports whether per-step stats (latency, grad norm) are
+// worth computing.
+func (h *Hooks) WantsTrainStep() bool { return h != nil && h.OnTrainStep != nil }
+
+// WantsTrainEpoch reports whether per-epoch stats are worth computing.
+func (h *Hooks) WantsTrainEpoch() bool { return h != nil && h.OnTrainEpoch != nil }
+
+// TrainEpoch invokes the epoch callback if set.
+func (h *Hooks) TrainEpoch(e TrainEpoch) {
+	if h != nil && h.OnTrainEpoch != nil {
+		h.OnTrainEpoch(e)
+	}
+}
+
+// TrainStep invokes the step callback if set.
+func (h *Hooks) TrainStep(s TrainStep) {
+	if h != nil && h.OnTrainStep != nil {
+		h.OnTrainStep(s)
+	}
+}
+
+// GenPhase invokes the generation-phase callback if set.
+func (h *Hooks) GenPhase(p GenPhase) {
+	if h != nil && h.OnGenPhase != nil {
+		h.OnGenPhase(p)
+	}
+}
+
+// EvalQuery invokes the evaluation callback if set.
+func (h *Hooks) EvalQuery(q EvalQuery) {
+	if h != nil && h.OnEvalQuery != nil {
+		h.OnEvalQuery(q)
+	}
+}
+
+// Merge fans every event out to all non-nil hooks. Nil inputs are skipped;
+// merging zero or one effective hooks returns that hook directly.
+func Merge(hooks ...*Hooks) *Hooks {
+	var live []*Hooks
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := &Hooks{}
+	out.OnTrainEpoch = func(e TrainEpoch) {
+		for _, h := range live {
+			h.TrainEpoch(e)
+		}
+	}
+	out.OnTrainStep = func(s TrainStep) {
+		for _, h := range live {
+			h.TrainStep(s)
+		}
+	}
+	out.OnGenPhase = func(p GenPhase) {
+		for _, h := range live {
+			h.GenPhase(p)
+		}
+	}
+	out.OnEvalQuery = func(q EvalQuery) {
+		for _, h := range live {
+			h.EvalQuery(q)
+		}
+	}
+	return out
+}
+
+// MetricsHooks returns hooks that feed the registry: training loss/grad
+// gauges, a step-latency histogram, epoch and query counters, per-query
+// latency and Q-Error histograms, and generation tuple/group/mass metrics.
+func MetricsHooks(r *Registry) *Hooks {
+	latBounds := ExpBuckets(1e-6, 2, 32) // 1µs … ~1h, in seconds
+	qeBounds := ExpBuckets(1, 1.5, 40)   // Q-Error 1 … ~1e7
+	stepLat := r.Histogram("train_step_seconds", latBounds)
+	loss := r.Gauge("train_loss")
+	gradNorm := r.Gauge("train_grad_norm")
+	epochsSec := r.Gauge("train_epochs_per_sec")
+	epochs := r.Counter("train_epochs_total")
+	steps := r.Counter("train_steps_total")
+	evalQ := r.Counter("eval_queries_total")
+	evalLat := r.Histogram("eval_query_seconds", latBounds)
+	evalQE := r.Histogram("eval_qerror", qeBounds)
+	return &Hooks{
+		OnTrainEpoch: func(e TrainEpoch) {
+			epochs.Inc()
+			loss.Set(e.Loss)
+			gradNorm.Set(e.GradNorm)
+			epochsSec.Set(e.EpochsPerSec())
+		},
+		OnTrainStep: func(s TrainStep) {
+			steps.Inc()
+			stepLat.Observe(s.Wall.Seconds())
+		},
+		OnGenPhase: func(p GenPhase) {
+			r.Counter("gen_" + p.Phase + "_tuples_total").Add(int64(p.Tuples))
+			if p.Phase == "merge" {
+				r.Counter("gen_merge_groups_total").Add(int64(p.Groups))
+			}
+			if p.Phase == "weight" {
+				r.Gauge("gen_weight_mass_before{" + p.Table + "}").Set(p.MassBefore)
+				r.Gauge("gen_weight_mass_after{" + p.Table + "}").Set(p.MassAfter)
+			}
+		},
+		OnEvalQuery: func(q EvalQuery) {
+			evalQ.Inc()
+			evalLat.Observe(q.Wall.Seconds())
+			evalQE.Observe(q.QError)
+		},
+	}
+}
+
+// ProgressHooks returns hooks that print human-readable progress lines —
+// one per training epoch, generation phase, and 100 evaluated queries —
+// to w (typically stderr under a CLI -progress flag).
+func ProgressHooks(w io.Writer) *Hooks {
+	var evalN int
+	return &Hooks{
+		OnTrainEpoch: func(e TrainEpoch) {
+			fmt.Fprintf(w, "train: epoch %d/%d  loss=%.4f  grad=%.3g  %.2f epochs/s\n",
+				e.Epoch, e.Epochs, e.Loss, e.GradNorm, e.EpochsPerSec())
+		},
+		OnGenPhase: func(p GenPhase) {
+			switch p.Phase {
+			case "sample":
+				fmt.Fprintf(w, "generate: sampled %d FOJ tuples in %v\n", p.Tuples, p.Wall.Round(time.Millisecond))
+			case "weight":
+				fmt.Fprintf(w, "generate: %s weight mass %.1f -> %.1f\n", p.Table, p.MassBefore, p.MassAfter)
+			case "merge":
+				fmt.Fprintf(w, "generate: %s merged %d groups -> %d rows in %v\n",
+					p.Table, p.Groups, p.Tuples, p.Wall.Round(time.Millisecond))
+			}
+		},
+		OnEvalQuery: func(q EvalQuery) {
+			evalN++
+			if evalN%100 == 0 {
+				fmt.Fprintf(w, "eval: %d queries\n", evalN)
+			}
+		},
+	}
+}

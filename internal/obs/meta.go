@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Meta identifies the environment a run or benchmark executed in. Reports
+// embed it so recorded numbers stay interpretable after toolchain or
+// hardware changes.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Commit     string `json:"commit,omitempty"` // VCS revision when built from a checkout
+}
+
+// BuildMeta captures the current process's build and runtime environment.
+// The commit comes from the binary's embedded build info (present when
+// built inside a version-controlled checkout), not from invoking git.
+func BuildMeta() Meta {
+	m := Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.Commit = s.Value
+				if len(m.Commit) > 12 {
+					m.Commit = m.Commit[:12]
+				}
+			}
+		}
+	}
+	return m
+}
+
+// SetAttrs records the metadata as attributes on a span (typically a trace
+// root), alongside whatever run parameters the caller adds.
+func (m Meta) SetAttrs(sp *Span) {
+	sp.SetAttr("go_version", m.GoVersion)
+	sp.SetAttr("goos", m.GOOS)
+	sp.SetAttr("goarch", m.GOARCH)
+	sp.SetAttr("gomaxprocs", m.GOMAXPROCS)
+	if m.Commit != "" {
+		sp.SetAttr("commit", m.Commit)
+	}
+}

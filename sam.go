@@ -30,6 +30,7 @@
 package sam
 
 import (
+	"io"
 	"math/rand"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"sam/internal/engine"
 	"sam/internal/join"
 	"sam/internal/metrics"
+	"sam/internal/obs"
 	"sam/internal/relation"
 	"sam/internal/workload"
 )
@@ -76,6 +78,30 @@ type (
 	GenOptions = core.GenOptions
 	// Summary is a median/p75/p90/mean/max metric aggregate.
 	Summary = metrics.Summary
+
+	// Hooks receives pipeline telemetry events; assign one to
+	// TrainConfig.Hooks and GenOptions.Hooks (nil disables with zero
+	// overhead). The event payloads are TrainEpoch, TrainStep, GenPhase,
+	// and EvalQuery.
+	Hooks = obs.Hooks
+	// TrainEpoch is the per-epoch training telemetry event.
+	TrainEpoch = obs.TrainEpoch
+	// TrainStep is the per-optimizer-step training telemetry event.
+	TrainStep = obs.TrainStep
+	// GenPhase is the per-phase generation telemetry event (sample,
+	// weight, merge).
+	GenPhase = obs.GenPhase
+	// EvalQuery is the per-query evaluation telemetry event.
+	EvalQuery = obs.EvalQuery
+	// Trace is a per-run tree of phase spans (wall time + allocation
+	// deltas), serializable as JSONL.
+	Trace = obs.Trace
+	// Span is one node of a Trace; assign a parent span to
+	// TrainConfig.Span / GenOptions.Span to nest pipeline phases under it.
+	Span = obs.Span
+	// Registry is a concurrent metrics registry (counters, gauges,
+	// histograms).
+	Registry = obs.Registry
 )
 
 // Column kinds.
@@ -196,6 +222,38 @@ func GenerateQueries(seed int64, s *Schema, n int, opts WorkloadOptions) []Query
 		return workload.GenerateSingleRelation(rng, s.Tables[0], n, opts)
 	}
 	return workload.GenerateMultiRelation(rng, s, n, opts)
+}
+
+// NewTrace starts a run trace whose Root span can be handed to
+// TrainConfig.Span and GenOptions.Span; after Root().End(), WriteJSONL
+// serializes the phase tree and Summary renders it for humans.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// MetricsHooks returns hooks that feed every telemetry event into the
+// registry (train_loss, train_step_seconds, gen_*_tuples_total,
+// eval_qerror, ...).
+func MetricsHooks(r *Registry) *Hooks { return obs.MetricsHooks(r) }
+
+// ProgressHooks returns hooks that stream human-readable progress (one
+// line per epoch, generation phase, and batch of evaluated queries) to w.
+func ProgressHooks(w io.Writer) *Hooks { return obs.ProgressHooks(w) }
+
+// MergeHooks fans every event out to all given hooks (nils are skipped).
+func MergeHooks(hooks ...*Hooks) *Hooks { return obs.Merge(hooks...) }
+
+// ServeDebug starts an HTTP server exposing /debug/pprof, /debug/vars
+// (expvar), and /metrics (the registry as JSON) on addr, returning the
+// bound address (useful with ":0").
+func ServeDebug(addr string, r *Registry) (string, error) { return obs.ServeDebug(addr, r) }
+
+// EvalWorkload executes each constraint's query against a database and
+// returns the Q-Errors versus the recorded cardinalities, streaming
+// per-query telemetry to h (which may be nil).
+func EvalWorkload(s *Schema, queries []CardQuery, h *Hooks) []float64 {
+	return engine.EvalWorkload(s, queries, h)
 }
 
 // CensusLike builds the census-like synthetic dataset (14 columns, domains

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sam/internal/obs"
 )
 
 // TestCLITools builds and drives the actual command binaries end to end:
@@ -71,5 +73,59 @@ func TestCLITools(t *testing.T) {
 	out = run("saminspect", "-model", "model.json", "-marginals", "200")
 	if !strings.Contains(out, "== model ==") || !strings.Contains(out, "arch: made") {
 		t.Fatalf("saminspect model output:\n%s", out)
+	}
+}
+
+// TestSambenchTraceSmoke is the CI telemetry gate: it runs the smallest
+// real experiment with -trace and fails unless the produced JSONL parses
+// as a well-formed span tree covering every pipeline phase — train,
+// sample, weight, merge, and eval — with positive wall time. A refactor
+// that silently drops a phase span (or breaks the JSONL writer) fails
+// here, not in production debugging.
+func TestSambenchTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "sambench")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/sambench").CombinedOutput(); err != nil {
+		t.Fatalf("build sambench: %v\n%s", err, out)
+	}
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	cmd := exec.Command(bin, "-scale", "smoke", "-exp", "tab1", "-trace", tracePath, "-progress")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sambench smoke: %v\n%s", err, out)
+	}
+	for _, want := range []string{"== tab1:", "== phase trace ==", "train: epoch"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("sambench output missing %q:\n%s", want, out)
+		}
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f) // rejects empty, malformed, orphaned traces
+	if err != nil {
+		t.Fatalf("trace JSONL invalid: %v", err)
+	}
+	wall := map[string]int64{}
+	for _, rec := range recs {
+		wall[rec.Name] += rec.WallUS
+	}
+	for _, phase := range []string{"train", "sample", "weight", "merge", "eval"} {
+		if _, ok := wall[phase]; !ok {
+			t.Fatalf("trace missing %q phase span (have %v)", phase, wall)
+		}
+		if wall[phase] <= 0 {
+			t.Fatalf("phase %q has no recorded wall time", phase)
+		}
+	}
+	root := recs[0]
+	if root.Attrs["seed"] == nil || root.Attrs["go_version"] == nil {
+		t.Fatalf("trace root missing run metadata attrs: %v", root.Attrs)
 	}
 }
