@@ -1,0 +1,93 @@
+// Command benchgate compares a fresh tensorbench report against a
+// committed baseline and exits nonzero when the hot paths regressed. CI
+// runs it after `sambench -tensorbench` to turn the benchmark JSON into a
+// pass/fail gate:
+//
+//	benchgate -baseline BENCH_tensor.json -current /tmp/bench.json \
+//	          -tol 0.25 -min sample_batched=3
+//
+// -tol bounds the allowed ns/op regression per benchmark (0.25 = +25%);
+// allocation growth always fails. -min names speedup-ratio floors, e.g.
+// sample_batched=3 requires batched ancestral sampling to stay at least 3×
+// the per-tuple sampler measured in the same run — a machine-independent
+// ratio, unlike raw ns/op.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"sam/internal/experiments"
+)
+
+func readReport(path string) (*experiments.TensorBenchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.TensorBenchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func parseMin(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -min entry %q, want name=ratio", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -min ratio in %q: %w", part, err)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	baselinePath := flag.String("baseline", "BENCH_tensor.json", "committed baseline report")
+	currentPath := flag.String("current", "", "freshly measured report to gate (required)")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression per benchmark")
+	minSpec := flag.String("min", "", "comma-separated speedup floors, e.g. sample_batched=3")
+	flag.Parse()
+
+	if *currentPath == "" {
+		log.Fatal("benchgate: -current is required")
+	}
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+	current, err := readReport(*currentPath)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+	minSpeedup, err := parseMin(*minSpec)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+
+	violations := experiments.CompareBench(baseline, current, *tol, minSpeedup)
+	if len(violations) == 0 {
+		fmt.Printf("benchgate: %d benchmarks within tolerance %.0f%%\n",
+			len(baseline.Results), *tol*100)
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL "+v)
+	}
+	os.Exit(1)
+}

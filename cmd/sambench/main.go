@@ -41,6 +41,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: smoke, quick or full")
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (tab1..tab9, fig5..fig8) or all")
 	seed := flag.Int64("seed", 1, "random seed")
+	batch := flag.Int("batch", -1, "ancestral-sampling lanes per generation worker (-1 keeps the scale default, <=1 samples one tuple at a time)")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	tensorBench := flag.String("tensorbench", "", "write tensor hot-path benchmark JSON to this file and exit")
 	traceOut := flag.String("trace", "", "write the run's phase trace (JSONL spans) to this file")
@@ -76,6 +77,9 @@ func main() {
 		log.Fatalf("unknown -scale %q (want smoke, quick or full)", *scaleFlag)
 	}
 	scale.Seed = *seed
+	if *batch >= 0 {
+		scale.GenBatch = *batch
+	}
 
 	logf := func(string, ...any) {}
 	if *verbose {

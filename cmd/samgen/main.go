@@ -44,6 +44,7 @@ func main() {
 	epochs := flag.Int("epochs", 6, "training epochs")
 	hidden := flag.Int("hidden", 64, "hidden width of the MADE backbone")
 	samples := flag.Int("samples", 0, "FOJ samples for generation (0 = auto)")
+	batch := flag.Int("batch", 64, "ancestral-sampling lanes per worker (<=1 samples one tuple at a time)")
 	seed := flag.Int64("seed", 1, "random seed")
 	noGam := flag.Bool("no-gam", false, "disable Group-and-Merge (ablation)")
 	arch := flag.String("arch", "made", "autoregressive backbone: made or transformer")
@@ -97,7 +98,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		generateAndWrite(model, sspec.Sizes(), *outDir, *samples, *seed, !*noGam, tel)
+		generateAndWrite(model, sspec.Sizes(), *outDir, *samples, *batch, *seed, !*noGam, tel)
 		return
 	}
 
@@ -171,7 +172,7 @@ func main() {
 		log.Printf("saved model to %s", *savePath)
 	}
 
-	generateAndWrite(model, sizes, *outDir, *samples, *seed, !*noGam, tel)
+	generateAndWrite(model, sizes, *outDir, *samples, *batch, *seed, !*noGam, tel)
 }
 
 // telemetry bundles the optional observer state the flags configured.
@@ -205,7 +206,7 @@ func (tel telemetry) flush() {
 }
 
 // generateAndWrite runs the generation phase and writes one CSV per table.
-func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samples int, seed int64, gam bool, tel telemetry) {
+func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samples, batch int, seed int64, gam bool, tel telemetry) {
 	gen, err := core.FromModel(model, sizes)
 	if err != nil {
 		log.Fatal(err)
@@ -213,10 +214,11 @@ func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samp
 	opts := core.DefaultGenOptions(seed + 1)
 	opts.Samples = samples
 	opts.GroupAndMerge = gam
+	opts.Batch = batch
 	opts.Hooks = tel.hooks
 	opts.Span = tel.trace.Root()
 	start := time.Now()
-	db, err := gen.Generate(func() join.TupleSampler { return model.NewSampler() }, opts)
+	db, err := gen.Generate(core.ModelSampler(model, opts.Batch), opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,6 +30,7 @@ func main() {
 	schemaPath := flag.String("schema", "", "schema metadata (JSON)")
 	modelPath := flag.String("model", "", "model saved by samgen -save")
 	marginals := flag.Int("marginals", 2000, "samples used to estimate model marginals")
+	batch := flag.Int("batch", 64, "ancestral-sampling lanes for marginal estimation (<=1 samples one tuple at a time)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -108,7 +109,7 @@ func main() {
 		fmt.Printf("  arch: %s, %d parameters, population %.0f\n",
 			archName(m.Cfg.Arch), nn.NumParams(m.Net), m.Population)
 		fmt.Printf("  %d model columns:\n", m.Layout.NumCols())
-		marg := sampleMarginals(m, *marginals)
+		marg := sampleMarginals(m, *marginals, *batch)
 		for i, c := range m.Layout.Cols {
 			fmt.Printf("  %-28s %-9s %4d bins  top: %s\n",
 				c.Name(), c.Kind, m.Disc[i].Bins(), topBins(marg[i], 3))
@@ -124,22 +125,46 @@ func archName(a string) string {
 }
 
 // sampleMarginals estimates per-column bin frequencies from n ancestral
-// samples.
-func sampleMarginals(m *ar.Model, n int) [][]float64 {
-	out := make([][]float64, m.Layout.NumCols())
+// samples, drawn batch lanes at a time (batch <= 1 falls back to the
+// per-tuple sampler).
+func sampleMarginals(m *ar.Model, n, batch int) [][]float64 {
+	ncols := m.Layout.NumCols()
+	out := make([][]float64, ncols)
 	for i := range out {
 		out[i] = make([]float64, m.Disc[i].Bins())
 	}
 	if n <= 0 {
 		return out
 	}
-	s := m.NewSampler()
-	rng := rand.New(rand.NewSource(1))
-	dst := make([]int32, m.Layout.NumCols())
-	for it := 0; it < n; it++ {
-		s.SampleFOJ(rng, dst)
+	count := func(dst []int32) {
 		for i, b := range dst {
 			out[i][b]++
+		}
+	}
+	if batch > 1 {
+		s := m.NewBatchSampler(batch)
+		rngs := make([]*rand.Rand, batch)
+		for l := range rngs {
+			rngs[l] = rand.New(rand.NewSource(1 + int64(l)*7919))
+		}
+		dst := make([]int32, batch*ncols)
+		for drawn := 0; drawn < n; drawn += batch {
+			lanes := batch
+			if rest := n - drawn; rest < lanes {
+				lanes = rest
+			}
+			s.SampleFOJBatch(rngs[:lanes], dst[:lanes*ncols])
+			for l := 0; l < lanes; l++ {
+				count(dst[l*ncols : (l+1)*ncols])
+			}
+		}
+	} else {
+		s := m.NewSampler()
+		rng := rand.New(rand.NewSource(1))
+		dst := make([]int32, ncols)
+		for it := 0; it < n; it++ {
+			s.SampleFOJ(rng, dst)
+			count(dst)
 		}
 	}
 	for i := range out {

@@ -14,8 +14,10 @@ import (
 	"math/rand"
 	"os"
 
+	"sam/internal/ar"
 	"sam/internal/datagen"
 	"sam/internal/engine"
+	"sam/internal/metrics"
 	"sam/internal/obs"
 	"sam/internal/relation"
 	"sam/internal/sqlparse"
@@ -32,6 +34,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	coverage := flag.Float64("coverage", 0, "restrict literals to this fraction of each domain (0 = full)")
 	sqlFile := flag.String("sqlfile", "", "label the COUNT(*) SQL statements in this file instead of generating random queries")
+	verifyModel := flag.String("verify-model", "", "also estimate the labeled cardinalities from this saved model (samgen -save) and report the Q-Error summary")
+	batch := flag.Int("batch", 64, "estimation lanes for -verify-model (<=1 uses the per-tuple sampler)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -101,5 +105,25 @@ func main() {
 			wl.Len(), engine.FOJSize(s))
 	} else {
 		log.Printf("labeled %d queries over %d rows", wl.Len(), s.Tables[0].NumRows())
+	}
+
+	// Optional sanity check: how well a previously trained model predicts
+	// the fresh workload's cardinalities, via batched progressive sampling.
+	if *verifyModel != "" {
+		mf, err := os.Open(*verifyModel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := ar.Load(mf)
+		mf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		eopts := ar.DefaultEvalOptions(*seed + 2)
+		eopts.Batch = *batch
+		qe := ar.EvalWorkload(m, wl.Queries, eopts, nil)
+		sum := metrics.Summarize(qe)
+		log.Printf("model %s vs workload: Q-Error median %.2f p90 %.2f max %.2f (%d queries, batch %d)",
+			*verifyModel, sum.Median, sum.P90, sum.Max, len(qe), eopts.Batch)
 	}
 }

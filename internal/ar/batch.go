@@ -1,0 +1,197 @@
+package ar
+
+import (
+	"math/rand"
+
+	"sam/internal/nn"
+	"sam/internal/tensor"
+)
+
+// BatchSampler runs ancestral sampling over up to B lanes at once: each
+// column step is one batched forward pass (a (B×H) GEMM per layer) plus a
+// batched softmax and B categorical draws, instead of B independent
+// batch-1 forwards. It implements join.BatchTupleSampler, emitting model
+// bin codes; like Sampler it is not safe for concurrent use — create one
+// per goroutine.
+type BatchSampler struct {
+	m   *Model
+	buf nn.BatchInference
+	// probsV[i] is a B×Bins(i) view over one shared buffer; SoftmaxRowsInto
+	// fills it from the column's logit block each step.
+	probsV []*tensor.Tensor
+	// probs0 is column 0's distribution, softmaxed once at construction:
+	// the first conditional has no parents, so its logits are a constant of
+	// the weights and every sweep skips that forward pass entirely.
+	probs0 []float64
+	sel    []float64 // per-lane selectivity accumulator (estimation)
+	// touched lists the flat x indices set since the last reset, so each
+	// sweep clears exactly the few one-hots it flipped instead of rewriting
+	// the whole B×InDim input.
+	touched []int
+	one     [1]*rand.Rand // scratch for the single-tuple adapter
+}
+
+// NewBatchSampler returns a sampler drawing batch tuples per forward
+// sweep. batch must be at least 1; batch 1 degenerates to per-tuple
+// sampling through the batched kernels.
+func (m *Model) NewBatchSampler(batch int) *BatchSampler {
+	if batch < 1 {
+		panic("ar: batch sampler needs at least one lane")
+	}
+	maxBins := 0
+	for _, d := range m.Disc {
+		if d.Bins() > maxBins {
+			maxBins = d.Bins()
+		}
+	}
+	s := &BatchSampler{
+		m:       m,
+		buf:     m.Net.NewBatchInference(batch),
+		sel:     make([]float64, batch),
+		touched: make([]int, 0, batch*m.Layout.NumCols()),
+	}
+	probsBuf := make([]float64, batch*maxBins)
+	for _, d := range m.Disc {
+		s.probsV = append(s.probsV, tensor.FromSlice(batch, d.Bins(), probsBuf[:batch*d.Bins()]))
+	}
+	// Snapshot column 0's (parent-free, hence constant) distribution. The
+	// sampler assumes the weights stay fixed for its lifetime, which the
+	// per-run sampler-per-goroutine usage guarantees.
+	s.probs0 = make([]float64, m.Disc[0].Bins())
+	tensor.SoftmaxRowInto(s.probs0, s.buf.ForwardCol(0).Row(0))
+	return s
+}
+
+// BatchCap returns the lane count fixed at construction.
+func (s *BatchSampler) BatchCap() int { return s.buf.Batch() }
+
+// SampleFOJ draws one tuple through a single lane, satisfying
+// join.TupleSampler so a BatchSampler can serve leftover tuples too.
+func (s *BatchSampler) SampleFOJ(rng *rand.Rand, dst []int32) {
+	s.one[0] = rng
+	s.SampleFOJBatch(s.one[:], dst)
+}
+
+// SampleFOJBatch draws len(rngs) tuples from the modeled joint
+// distribution by batched ancestral sampling (Algorithm 1, lines 3–7, over
+// all lanes per column step). Lane l consumes only rngs[l], so a lane's
+// output depends on its own stream alone and the caller controls
+// determinism by seeding the streams. dst holds len(rngs)·NumCols codes,
+// lane-major.
+func (s *BatchSampler) SampleFOJBatch(rngs []*rand.Rand, dst []int32) {
+	m := s.m
+	ncols := m.Layout.NumCols()
+	lanes := len(rngs)
+	if lanes == 0 || lanes > s.buf.Batch() {
+		panic("ar: SampleFOJBatch lane count out of range")
+	}
+	if len(dst) != lanes*ncols {
+		panic("ar: SampleFOJBatch dst has wrong length")
+	}
+	x := s.buf.X()
+	s.resetX(x)
+	offsets := m.Net.Offsets()
+	for i := 0; i < ncols; i++ {
+		var probs *tensor.Tensor
+		if i > 0 {
+			probs = s.probsV[i]
+			// Unnormalized is enough: sampleCategorical accumulates its
+			// own total mass.
+			tensor.ExpRowsInto(probs, s.buf.ForwardCol(i))
+		}
+		for l := 0; l < lanes; l++ {
+			prow := s.probs0
+			if i > 0 {
+				prow = probs.Row(l)
+			}
+			bin := sampleCategorical(rngs[l], prow, nil)
+			dst[l*ncols+i] = int32(bin)
+			s.setX(x, l, offsets[i]+bin)
+		}
+	}
+}
+
+// resetX clears exactly the one-hots the previous sweep set.
+func (s *BatchSampler) resetX(x *tensor.Tensor) {
+	for _, idx := range s.touched {
+		x.Data[idx] = 0
+	}
+	s.touched = s.touched[:0]
+}
+
+// setX sets x[lane][idx] and records it for the next reset.
+func (s *BatchSampler) setX(x *tensor.Tensor, lane, idx int) {
+	flat := lane*x.Cols + idx
+	x.Data[flat] = 1
+	s.touched = append(s.touched, flat)
+}
+
+// EstimateSpec is the batched progressive-sampling estimator: Monte-Carlo
+// chains advance in sweeps of up to B lanes, sharing each column step's
+// forward pass. All chains draw from the single rng in lane order, so the
+// estimate is deterministic for a fixed (rng state, batch) pair; it is a
+// different (equally valid) Monte-Carlo draw than the per-tuple
+// estimator's for the same seed.
+func (s *BatchSampler) EstimateSpec(rng *rand.Rand, spec *Spec, samples int) float64 {
+	m := s.m
+	if samples <= 0 {
+		samples = 1
+	}
+	lastNeeded := 0
+	for i := range m.Layout.Cols {
+		if spec.Masks[i] != nil || spec.Downweight[i] {
+			lastNeeded = i
+		}
+	}
+	batch := s.buf.Batch()
+	offsets := m.Net.Offsets()
+	x := s.buf.X()
+	var total float64
+	for done := 0; done < samples; done += batch {
+		lanes := batch
+		if rest := samples - done; rest < lanes {
+			lanes = rest
+		}
+		sel := s.sel[:lanes]
+		s.resetX(x)
+		for l := 0; l < lanes; l++ {
+			sel[l] = 1
+		}
+		for i := 0; i <= lastNeeded; i++ {
+			var probs *tensor.Tensor
+			if i > 0 {
+				probs = s.probsV[i]
+				tensor.SoftmaxRowsInto(probs, s.buf.ForwardCol(i))
+			}
+			mask := spec.Masks[i]
+			for l := 0; l < lanes; l++ {
+				if sel[l] == 0 {
+					continue // dead chain: mask mass hit zero earlier
+				}
+				prow := s.probs0
+				if i > 0 {
+					prow = probs.Row(l)
+				}
+				if mask != nil {
+					var p float64
+					for b, pv := range prow {
+						p += pv * mask[b]
+					}
+					sel[l] *= p
+					if sel[l] == 0 {
+						continue
+					}
+				}
+				bin := sampleCategorical(rng, prow, mask)
+				if spec.Downweight[i] {
+					sel[l] /= m.Layout.Cols[i].WeightVals[bin]
+				}
+				s.setX(x, l, offsets[i]+bin)
+			}
+		}
+		for l := 0; l < lanes; l++ {
+			total += sel[l]
+		}
+	}
+	return m.Population * total / float64(samples)
+}

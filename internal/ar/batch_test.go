@@ -1,0 +1,208 @@
+package ar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sam/internal/join"
+	"sam/internal/relation"
+	"sam/internal/tensor"
+)
+
+// batchTestModel builds a small untrained model; random init already
+// defines a nondegenerate joint, which is all distribution-equivalence
+// tests need.
+func batchTestModel(t *testing.T, arch string) *Model {
+	t.Helper()
+	c1 := relation.NewColumn("x", relation.Categorical, 4)
+	c2 := relation.NewColumn("y", relation.Categorical, 3)
+	c3 := relation.NewColumn("z", relation.Categorical, 5)
+	s := relation.MustSchema(relation.NewTable("t", c1, c2, c3))
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	cfg.Seed = 21
+	cfg.Arch = arch
+	return NewModel(join.NewLayout(s), nil, 500, cfg)
+}
+
+// TestSampleFOJBatchMatchesUnbatchedMarginals draws a large sample through
+// the per-tuple sampler and through the batched sampler and requires the
+// per-column marginal frequencies to agree: both must sample the same
+// modeled joint even though the batched path runs entirely different
+// (head-restricted, transposed-dot) kernels.
+func TestSampleFOJBatchMatchesUnbatchedMarginals(t *testing.T) {
+	for _, arch := range []string{"made", "transformer"} {
+		t.Run(arch, func(t *testing.T) {
+			m := batchTestModel(t, arch)
+			ncols := m.Layout.NumCols()
+			const n = 12000
+
+			single := m.NewSampler()
+			rng := rand.New(rand.NewSource(99))
+			dst := make([]int32, ncols)
+			singleCounts := make([]map[int32]int, ncols)
+			for i := range singleCounts {
+				singleCounts[i] = map[int32]int{}
+			}
+			for k := 0; k < n; k++ {
+				single.SampleFOJ(rng, dst)
+				for i, v := range dst {
+					singleCounts[i][v]++
+				}
+			}
+
+			const lanes = 32
+			batch := m.NewBatchSampler(lanes)
+			rngs := make([]*rand.Rand, lanes)
+			for l := range rngs {
+				rngs[l] = rand.New(rand.NewSource(1000 + int64(l)))
+			}
+			bdst := make([]int32, lanes*ncols)
+			batchCounts := make([]map[int32]int, ncols)
+			for i := range batchCounts {
+				batchCounts[i] = map[int32]int{}
+			}
+			for k := 0; k < n/lanes; k++ {
+				batch.SampleFOJBatch(rngs, bdst)
+				for l := 0; l < lanes; l++ {
+					for i := 0; i < ncols; i++ {
+						batchCounts[i][bdst[l*ncols+i]]++
+					}
+				}
+			}
+
+			for i := 0; i < ncols; i++ {
+				for b := 0; b < m.Disc[i].Bins(); b++ {
+					ps := float64(singleCounts[i][int32(b)]) / n
+					pb := float64(batchCounts[i][int32(b)]) / n
+					if math.Abs(ps-pb) > 0.025 {
+						t.Fatalf("col %d bin %d marginal: single %.4f vs batched %.4f", i, b, ps, pb)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSamplerSingleLaneAdapter checks the TupleSampler adapter draws
+// through exactly one lane and produces codes in range.
+func TestBatchSamplerSingleLaneAdapter(t *testing.T) {
+	m := batchTestModel(t, "made")
+	s := m.NewBatchSampler(8)
+	rng := rand.New(rand.NewSource(3))
+	dst := make([]int32, m.Layout.NumCols())
+	for k := 0; k < 50; k++ {
+		s.SampleFOJ(rng, dst)
+		for i, v := range dst {
+			if v < 0 || int(v) >= m.Disc[i].Bins() {
+				t.Fatalf("col %d code %d out of range", i, v)
+			}
+		}
+	}
+}
+
+// TestBatchEstimateSpecMatchesUnbatched compares the two progressive
+// estimators. A mask on column 0 alone makes both estimates an exact
+// expectation (no Monte-Carlo variance), so they must agree tightly; a
+// mask on a later column is statistical, so the check is loose.
+func TestBatchEstimateSpecMatchesUnbatched(t *testing.T) {
+	m := batchTestModel(t, "made")
+	ncols := m.Layout.NumCols()
+
+	mask0 := []float64{1, 1, 0, 0}
+	spec0 := &Spec{Masks: make([][]float64, ncols), Downweight: make([]bool, ncols)}
+	spec0.Masks[0] = mask0
+	est := m.NewSampler().EstimateSpec(rand.New(rand.NewSource(1)), spec0, 64)
+	bst := m.NewBatchSampler(16).EstimateSpec(rand.New(rand.NewSource(2)), spec0, 64)
+	if math.Abs(est-bst) > 1e-6*math.Max(est, 1) {
+		t.Fatalf("column-0 mask estimate: unbatched %v vs batched %v", est, bst)
+	}
+
+	mask2 := []float64{0, 1, 1, 0, 0}
+	spec2 := &Spec{Masks: make([][]float64, ncols), Downweight: make([]bool, ncols)}
+	spec2.Masks[2] = mask2
+	est = m.NewSampler().EstimateSpec(rand.New(rand.NewSource(5)), spec2, 4096)
+	bst = m.NewBatchSampler(64).EstimateSpec(rand.New(rand.NewSource(6)), spec2, 4096)
+	if est <= 0 || bst <= 0 {
+		t.Fatalf("estimates must be positive: %v, %v", est, bst)
+	}
+	if r := est / bst; r < 0.8 || r > 1.25 {
+		t.Fatalf("column-2 mask estimate ratio %v (unbatched %v, batched %v)", r, est, bst)
+	}
+}
+
+// TestSamplerEstimateSpecAllocFree pins the hoisted-scratch fix: a warm
+// Sampler.EstimateSpec call must not allocate (the old per-call
+// Model.EstimateSpec path rebuilt the whole sampler every call).
+func TestSamplerEstimateSpecAllocFree(t *testing.T) {
+	old := tensor.MatMulWorkers()
+	tensor.SetMatMulWorkers(1)
+	defer tensor.SetMatMulWorkers(old)
+
+	m := batchTestModel(t, "made")
+	ncols := m.Layout.NumCols()
+	spec := &Spec{Masks: make([][]float64, ncols), Downweight: make([]bool, ncols)}
+	spec.Masks[2] = []float64{0, 1, 1, 0, 0}
+	s := m.NewSampler()
+	rng := rand.New(rand.NewSource(17))
+	call := func() { s.EstimateSpec(rng, spec, 8) }
+	call()
+	if n := testing.AllocsPerRun(20, call); n != 0 {
+		t.Fatalf("warm Sampler.EstimateSpec allocates %v times, want 0", n)
+	}
+}
+
+// TestSampleCategoricalDegenerate covers the zero-mass fallbacks.
+func TestSampleCategoricalDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+
+	// All-zero weights, no mask: uniform over all bins.
+	counts := [4]int{}
+	for k := 0; k < 4000; k++ {
+		b := sampleCategorical(rng, []float64{0, 0, 0, 0}, nil)
+		if b < 0 || b > 3 {
+			t.Fatalf("bin %d out of range", b)
+		}
+		counts[b]++
+	}
+	for b, c := range counts {
+		if f := float64(c) / 4000; math.Abs(f-0.25) > 0.05 {
+			t.Fatalf("zero-mass uniform fallback: bin %d frequency %v", b, f)
+		}
+	}
+
+	// Mask kills all weight mass but admits bins 1 and 2: uniform over them.
+	counts = [4]int{}
+	for k := 0; k < 4000; k++ {
+		b := sampleCategorical(rng, []float64{0.5, 0, 0, 0.5}, []float64{0, 1, 1, 0})
+		counts[b]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("masked-out bins drawn: %v", counts)
+	}
+	for _, b := range []int{1, 2} {
+		if f := float64(counts[b]) / 4000; math.Abs(f-0.5) > 0.05 {
+			t.Fatalf("masked fallback: bin %d frequency %v", b, f)
+		}
+	}
+
+	// All-zero mask: any bin may come back, but it must be in range.
+	for k := 0; k < 100; k++ {
+		if b := sampleCategorical(rng, []float64{1, 2, 3}, []float64{0, 0, 0}); b < 0 || b > 2 {
+			t.Fatalf("bin %d out of range under zero mask", b)
+		}
+	}
+
+	// Unnormalized weights draw proportionally — the property the batched
+	// sampler's ExpRowsInto (no normalization pass) relies on.
+	var ones int
+	for k := 0; k < 8000; k++ {
+		if sampleCategorical(rng, []float64{1, 3}, nil) == 1 {
+			ones++
+		}
+	}
+	if f := float64(ones) / 8000; math.Abs(f-0.75) > 0.03 {
+		t.Fatalf("unnormalized draw frequency %v, want ≈0.75", f)
+	}
+}

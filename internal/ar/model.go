@@ -228,8 +228,19 @@ func (m *Model) Estimate(rng *rand.Rand, q *workload.Query, samples int) (float6
 	return m.EstimateSpec(rng, spec, samples), nil
 }
 
-// EstimateSpec is Estimate for a precompiled spec.
+// EstimateSpec is Estimate for a precompiled spec. It allocates fresh
+// inference buffers per call; hot loops should hold a Sampler (or
+// BatchSampler) and call its EstimateSpec instead.
 func (m *Model) EstimateSpec(rng *rand.Rand, spec *Spec, samples int) float64 {
+	return m.NewSampler().EstimateSpec(rng, spec, samples)
+}
+
+// EstimateSpec runs progressive-sampling estimation for a precompiled spec
+// on the sampler's reusable buffers: the warm path allocates nothing, so a
+// per-goroutine sampler amortizes the inference scratch over a whole
+// workload of estimates.
+func (s *Sampler) EstimateSpec(rng *rand.Rand, spec *Spec, samples int) float64 {
+	m := s.m
 	if samples <= 0 {
 		samples = 1
 	}
@@ -241,7 +252,6 @@ func (m *Model) EstimateSpec(rng *rand.Rand, spec *Spec, samples int) float64 {
 			lastNeeded = i
 		}
 	}
-	s := m.NewSampler()
 	var total float64
 	for it := 0; it < samples; it++ {
 		x := s.buf.X()

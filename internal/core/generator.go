@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sam/internal/ar"
@@ -30,6 +31,13 @@ type GenOptions struct {
 	Samples int
 	// Workers bounds sampling parallelism; 0 = GOMAXPROCS.
 	Workers int
+	// Batch is the number of sampling lanes each worker advances through
+	// the model per forward sweep (batched ancestral sampling); values ≤ 1
+	// draw one tuple at a time. Each lane owns an rng stream derived from
+	// Seed, so output is deterministic for a fixed (Seed, Workers, Batch)
+	// triple, and Batch ≤ 1 reproduces the legacy per-worker streams
+	// exactly.
+	Batch int
 	// Seed drives all sampling randomness.
 	Seed int64
 	// GroupAndMerge selects join-key assignment: true runs Algorithm 3;
@@ -47,7 +55,7 @@ type GenOptions struct {
 
 // DefaultGenOptions returns options matching the paper's main configuration.
 func DefaultGenOptions(seed int64) GenOptions {
-	return GenOptions{Seed: seed, GroupAndMerge: true}
+	return GenOptions{Seed: seed, GroupAndMerge: true, Batch: 64}
 }
 
 // Generator materializes synthetic databases in the shape of the layout's
@@ -80,6 +88,16 @@ func FromModel(m *ar.Model, sizes map[string]int) (*Generator, error) {
 	return NewGenerator(m.Layout, m.Disc, sizes)
 }
 
+// ModelSampler returns the per-worker sampler factory Generate expects for
+// a trained model, honoring the batch setting: lanes > 1 get the batched
+// ancestral sampler, otherwise the per-tuple one.
+func ModelSampler(m *ar.Model, batch int) func() join.TupleSampler {
+	if batch > 1 {
+		return func() join.TupleSampler { return m.NewBatchSampler(batch) }
+	}
+	return func() join.TupleSampler { return m.NewSampler() }
+}
+
 // Generate runs the full pipeline. newSampler is called once per worker
 // goroutine; a stateless sampler may return itself repeatedly.
 func (g *Generator) Generate(newSampler func() join.TupleSampler, opts GenOptions) (*relation.Schema, error) {
@@ -108,8 +126,14 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 	if workers > k {
 		workers = k
 	}
+	batch := opts.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	span.SetAttr("tuples", k)
 	span.SetAttr("workers", workers)
+	span.SetAttr("batch", batch)
+	var usedBatchKernel atomic.Bool
 	var wg sync.WaitGroup
 	chunk := (k + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -123,16 +147,41 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			// One rng stream per lane: lane l of worker w always sees the
+			// same stream regardless of how tuples land in sweeps, and with
+			// batch 1 this reduces to the legacy per-worker seeding.
+			rngs := make([]*rand.Rand, batch)
+			for l := range rngs {
+				rngs[l] = rand.New(rand.NewSource(opts.Seed + int64(w*batch+l)*7919))
+			}
 			s := newSampler()
+			bs, ok := s.(join.BatchTupleSampler)
+			if ok && batch > 1 && bs.BatchCap() >= batch {
+				usedBatchKernel.Store(true)
+				for base := lo; base < hi; base += batch {
+					n := batch
+					if base+n > hi {
+						n = hi - base
+					}
+					bs.SampleFOJBatch(rngs[:n], flat[base*ncols:(base+n)*ncols])
+					for i := base; i < base+n; i++ {
+						g.sanitize(flat[i*ncols : (i+1)*ncols])
+					}
+				}
+				return
+			}
+			// Per-tuple fallback keeps the lane-strided rng assignment so
+			// each tuple consumes the same stream as under the batched
+			// kernel.
 			for i := lo; i < hi; i++ {
 				dst := flat[i*ncols : (i+1)*ncols]
-				s.SampleFOJ(rng, dst)
+				s.SampleFOJ(rngs[(i-lo)%batch], dst)
 				g.sanitize(dst)
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	span.SetAttr("batched", usedBatchKernel.Load())
 	opts.Hooks.GenPhase(obs.GenPhase{Phase: "sample", Tuples: k, Wall: time.Since(start)})
 	return flat
 }

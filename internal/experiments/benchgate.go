@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CompareBench checks a fresh tensorbench report against a committed
+// baseline and returns one violation string per breach (empty = gate
+// passes). Three classes of breach:
+//
+//   - a benchmark present in the baseline is missing from the current run;
+//   - ns/op regressed by more than tol (0.25 = fail beyond +25%);
+//   - allocs/op grew at all — the hot paths are pinned allocation-free, so
+//     any growth is a leak, not noise;
+//   - a named speedup ratio (e.g. sample_batched's batched-vs-per-tuple
+//     ratio) fell below its required floor.
+//
+// Only ratios and allocation counts transfer across machines; absolute
+// ns/op comparisons assume baseline and current ran on comparable
+// hardware, which is why CI regenerates the baseline alongside the run
+// instead of trusting numbers measured elsewhere.
+func CompareBench(baseline, current *TensorBenchReport, tol float64, minSpeedup map[string]float64) []string {
+	cur := map[string]*TensorBenchResult{}
+	for i := range current.Results {
+		cur[current.Results[i].Name] = &current.Results[i]
+	}
+	var out []string
+	for i := range baseline.Results {
+		b := &baseline.Results[i]
+		c, ok := cur[b.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline but missing from current run", b.Name))
+			continue
+		}
+		if limit := float64(b.NsOp) * (1 + tol); float64(c.NsOp) > limit {
+			out = append(out, fmt.Sprintf("%s: ns/op regressed %d → %d (tolerance %.0f%% allows ≤ %.0f)",
+				b.Name, b.NsOp, c.NsOp, tol*100, limit))
+		}
+		if c.AllocsOp > b.AllocsOp {
+			out = append(out, fmt.Sprintf("%s: allocs/op grew %d → %d", b.Name, b.AllocsOp, c.AllocsOp))
+		}
+	}
+	for name, min := range minSpeedup {
+		c, ok := cur[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: speedup floor %.2fx set but benchmark missing from current run", name, min))
+			continue
+		}
+		if c.Speedup < min {
+			out = append(out, fmt.Sprintf("%s: speedup %.2fx below required %.2fx", name, c.Speedup, min))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

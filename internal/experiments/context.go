@@ -270,11 +270,12 @@ func (c *Context) SAMDB(b *Bundle, nQueries, samples int, gam bool) (*relation.S
 	opts := core.DefaultGenOptions(c.Scale.Seed + 7)
 	opts.Samples = samples
 	opts.GroupAndMerge = gam
+	opts.Batch = c.Scale.GenBatch
 	opts.Hooks = c.Hooks
 	opts.Span = c.Span
-	c.Logf("generating %s database from SAM (k=%d, gam=%v)", b.Name, samples, gam)
+	c.Logf("generating %s database from SAM (k=%d, gam=%v, batch=%d)", b.Name, samples, gam, opts.Batch)
 	start := time.Now()
-	db, err := gen.Generate(func() join.TupleSampler { return m.NewSampler() }, opts)
+	db, err := gen.Generate(core.ModelSampler(m, opts.Batch), opts)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: generation on %s: %v", b.Name, err))
 	}

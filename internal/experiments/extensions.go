@@ -2,13 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"sam/internal/ar"
 	"sam/internal/core"
 	"sam/internal/indep"
-	"sam/internal/join"
 	"sam/internal/metrics"
 	"sam/internal/relation"
 )
@@ -64,7 +62,8 @@ func ExtBackbones(c *Context) *Report {
 		}
 		opts := core.DefaultGenOptions(s.Seed + 13)
 		opts.Samples = b.Sizes[b.Orig.Tables[0].Name]
-		db, err := gen.Generate(func() join.TupleSampler { return m.NewSampler() }, opts)
+		opts.Batch = s.GenBatch
+		db, err := gen.Generate(core.ModelSampler(m, opts.Batch), opts)
 		if err != nil {
 			r.Notes = append(r.Notes, fmt.Sprintf("%s: %v", arch, err))
 			continue
@@ -113,15 +112,10 @@ func ExtProgressiveSamples(c *Context) *Report {
 			continue
 		}
 		trainTime := time.Since(start)
-		erng := rand.New(rand.NewSource(s.Seed + 17))
-		var qe []float64
-		for qi := range wl.Queries {
-			est, err := m.Estimate(erng, &wl.Queries[qi].Query, 8)
-			if err != nil {
-				continue
-			}
-			qe = append(qe, metrics.QError(est, float64(wl.Queries[qi].Card)))
-		}
+		// Batched model-side evaluation: warm per-worker samplers instead
+		// of a fresh inference buffer per estimate.
+		eopts := ar.EvalOptions{Samples: 8, Batch: s.GenBatch, Seed: s.Seed + 17}
+		qe := ar.EvalWorkload(m, wl.Queries, eopts, nil)
 		sum := metrics.Summarize(qe)
 		r.Rows = append(r.Rows, []string{fmt.Sprint(ps),
 			fmt.Sprintf("%.2f", trainTime.Seconds()), fmtG(sum.Median), fmtG(sum.Mean)})

@@ -8,7 +8,6 @@ import (
 	"sam/internal/ar"
 	"sam/internal/core"
 	"sam/internal/engine"
-	"sam/internal/join"
 	"sam/internal/metrics"
 	"sam/internal/workload"
 )
@@ -128,7 +127,8 @@ func Figure8(c *Context) *Report {
 		}
 		gopts := core.DefaultGenOptions(s.Seed + 7)
 		gopts.Samples = b.Sizes[b.Orig.Tables[0].Name]
-		db, err := gen.Generate(func() join.TupleSampler { return m.NewSampler() }, gopts)
+		gopts.Batch = s.GenBatch
+		db, err := gen.Generate(core.ModelSampler(m, gopts.Batch), gopts)
 		if err != nil {
 			r.Notes = append(r.Notes, fmt.Sprintf("coverage %.2f: %v", cov, err))
 			continue

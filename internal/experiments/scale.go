@@ -34,6 +34,11 @@ type Scale struct {
 	Batch  int
 	LR     float64
 
+	// GenBatch is the ancestral-sampling lane count used when generating
+	// databases from trained models (GenOptions.Batch); ≤ 1 samples one
+	// tuple at a time.
+	GenBatch int
+
 	IMDBSamples int // FOJ sample budget for IMDB generation
 
 	Fig5SAMPoints []int
@@ -72,6 +77,8 @@ func QuickScale() Scale {
 		Hidden: 40,
 		Batch:  64,
 		LR:     5e-3,
+
+		GenBatch: 64,
 
 		IMDBSamples: 40000,
 

@@ -16,6 +16,19 @@ type TupleSampler interface {
 	SampleFOJ(rng *rand.Rand, dst []int32)
 }
 
+// BatchTupleSampler is a TupleSampler that can draw many tuples per call,
+// one forward sweep advancing a whole batch of lanes column by column.
+// core.drawSamples type-asserts for it when GenOptions.Batch > 1.
+type BatchTupleSampler interface {
+	TupleSampler
+	// BatchCap returns the maximum lane count per SampleFOJBatch call.
+	BatchCap() int
+	// SampleFOJBatch draws len(rngs) tuples at once; lane l consumes only
+	// rngs[l] (its private stream, which keeps output independent of the
+	// batch shape) and writes its codes to dst[l*NumCols():(l+1)*NumCols()].
+	SampleFOJBatch(rngs []*rand.Rand, dst []int32)
+}
+
 // NullCode is the content code stored for columns of a table that is NULL
 // (indicator 0) in a FOJ tuple. Queries always pair content constraints
 // with an indicator-=1 constraint, so overloading code 0 is sound (see

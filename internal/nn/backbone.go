@@ -25,6 +25,9 @@ type Backbone interface {
 	// NewInference allocates per-goroutine scratch for the fast
 	// no-autodiff path.
 	NewInference() Inference
+	// NewBatchInference allocates scratch for a b-lane batched forward
+	// pass (batched ancestral sampling).
+	NewBatchInference(b int) BatchInference
 	// Params returns all trainable tensors.
 	Params() []*tensor.Tensor
 	// OutputBias returns the output layer's bias (1×InDim), used to
@@ -42,6 +45,28 @@ type Inference interface {
 	// Forward computes the full logits row for the current X. The result
 	// is owned by the Inference and valid until the next call.
 	Forward() []float64
+}
+
+// BatchInference is the allocation-free B-row forward pass behind batched
+// ancestral sampling: B tuples advance one column per step, so each layer
+// becomes one (B×H) GEMM instead of B GEMVs and the tiled kernels amortize
+// every weight load over the whole batch. Not safe for concurrent use;
+// create one per goroutine. Lanes beyond the caller's live count carry
+// stale inputs and produce garbage (finite) outputs — callers simply
+// ignore those rows.
+type BatchInference interface {
+	// Batch returns the lane count B fixed at construction.
+	Batch() int
+	// X returns the reusable B×InDim input matrix; callers zero and fill
+	// the rows of live lanes between passes.
+	X() *tensor.Tensor
+	// Forward computes the full B×InDim logits for the current X. The
+	// result is owned by the buffer and valid until the next call.
+	Forward() *tensor.Tensor
+	// ForwardCol computes only column i's logit block — a B×ColSizes[i]
+	// matrix — which is all ancestral sampling needs at step i. The result
+	// is owned by the buffer and valid until the next call.
+	ForwardCol(i int) *tensor.Tensor
 }
 
 // NumParams returns the total scalar parameter count of a backbone.

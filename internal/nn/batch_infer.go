@@ -1,0 +1,264 @@
+package nn
+
+import "sam/internal/tensor"
+
+// madeBatch is MADE's BatchInference: per-layer B×width activation
+// matrices driven by the span-aware masked GEMM kernels, so one forward
+// pass of B lanes costs one masked matmul per layer instead of B.
+type madeBatch struct {
+	m    *MADE
+	x    *tensor.Tensor   // B × inDim
+	acts []*tensor.Tensor // per layer, B × layer width
+	// colViews[i] is a B×colSizes[i] view over a shared buffer sized for
+	// the widest column; ForwardCol writes into it so no per-call tensor
+	// headers are allocated.
+	colViews []*tensor.Tensor
+	// suffix[i] records that layer i's mask spans are suffix-monotone
+	// (always true for NewMADE's sorted-degree masks), enabling the
+	// span-hoisted suffix kernels.
+	suffix []bool
+	// heads[i][l] is the prefix of hidden layer l's units that column i's
+	// logit block can depend on (nil when any layer is not suffix-monotone).
+	// Sorted degrees make every dependency set a unit prefix, so ForwardCol
+	// evaluates each hidden layer only up to that width.
+	heads [][]int
+	// wts[l] caches layer l's masked weight product transposed (refreshed
+	// lazily against W.Version()), feeding the prefix-dot kernels; entry 0
+	// is nil because the sparse one-hot input favors the axpy form there.
+	wts    []*tensor.Tensor
+	wtSeen []uint64
+	// prefixes[l][j] is the input prefix feeding unit j of layer l — the
+	// transpose of the suffix spans. Output-layer blocks share one uniform
+	// prefix (heads[i]'s last entry), so no table is kept for it.
+	prefixes [][]int
+	// outViews[i] is the block of output-layer wt rows for column i.
+	outViews []*tensor.Tensor
+}
+
+// NewBatchInference allocates batched scratch sized for m and b lanes.
+func (m *MADE) NewBatchInference(b int) BatchInference {
+	if b < 1 {
+		panic("nn: batch inference needs at least one lane")
+	}
+	bi := &madeBatch{m: m, x: tensor.New(b, m.inDim)}
+	for _, l := range m.layers {
+		bi.acts = append(bi.acts, tensor.New(b, l.W.Cols))
+		bi.suffix = append(bi.suffix, tensor.SpansSuffixMonotone(l.cache.Spans(), l.W.Cols))
+	}
+	maxSize := 0
+	for _, s := range m.colSizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	colBuf := make([]float64, b*maxSize)
+	for _, s := range m.colSizes {
+		bi.colViews = append(bi.colViews, tensor.FromSlice(b, s, colBuf[:b*s]))
+	}
+	allSuffix := true
+	for _, ok := range bi.suffix {
+		allSuffix = allSuffix && ok
+	}
+	if allSuffix {
+		// Walk the dependency prefixes backwards from each output block:
+		// the block needs the output-layer weight rows whose suffix starts
+		// before the block's end, and each hidden layer needs the rows of
+		// the layer above it that reach the prefix already required.
+		last := len(m.layers) - 1
+		for i, off := range m.offsets {
+			h := countStartsBelow(m.layers[last].cache.Spans(), m.layers[last].W.Rows, off+m.colSizes[i])
+			hs := make([]int, last)
+			for l := last - 1; l >= 0; l-- {
+				hs[l] = h
+				if l > 0 {
+					h = countStartsBelow(m.layers[l].cache.Spans(), m.layers[l].W.Rows, h)
+				}
+			}
+			bi.heads = append(bi.heads, hs)
+		}
+		bi.wts = make([]*tensor.Tensor, len(m.layers))
+		bi.wtSeen = make([]uint64, len(m.layers))
+		bi.prefixes = make([][]int, len(m.layers))
+		for l := 1; l < len(m.layers); l++ {
+			w := m.layers[l].W
+			bi.wts[l] = tensor.New(w.Cols, w.Rows)
+			if l < last {
+				pref := make([]int, w.Cols)
+				for j := range pref {
+					pref[j] = countStartsBelow(m.layers[l].cache.Spans(), w.Rows, j+1)
+				}
+				bi.prefixes[l] = pref
+			}
+		}
+		hid := m.layers[last].W.Rows
+		for i, off := range m.offsets {
+			end := off + m.colSizes[i]
+			bi.outViews = append(bi.outViews,
+				tensor.FromSlice(m.colSizes[i], hid, bi.wts[last].Data[off*hid:end*hid]))
+		}
+	}
+	return bi
+}
+
+// wtFor returns layer l's transposed masked product, retransposing when
+// the weights have changed since the last call (same version protocol as
+// MaskedWeight's cache).
+func (b *madeBatch) wtFor(l int) *tensor.Tensor {
+	lay := b.m.layers[l]
+	if v := lay.W.Version() + 1; b.wtSeen[l] != v {
+		src := lay.cache.Get()
+		dst := b.wts[l]
+		for i := 0; i < src.Rows; i++ {
+			for j, val := range src.Row(i) {
+				dst.Data[j*src.Rows+i] = val
+			}
+		}
+		b.wtSeen[l] = v
+	}
+	return b.wts[l]
+}
+
+// countStartsBelow returns the size of the leading run of rows whose span
+// start is below bound (starts are nondecreasing for suffix-monotone
+// spans).
+func countStartsBelow(spans []int, rows, bound int) int {
+	n := 0
+	for k := 0; k < rows; k++ {
+		if spans[2*k] < bound {
+			n = k + 1
+		} else {
+			break
+		}
+	}
+	return n
+}
+
+// Batch returns the lane count.
+func (b *madeBatch) Batch() int { return b.x.Rows }
+
+// X returns the reusable B×InDim input matrix.
+func (b *madeBatch) X() *tensor.Tensor { return b.x }
+
+// hidden runs all layers but the last, returning the final hidden
+// activations. Sorted-degree masks take the suffix kernel, which skips the
+// masked-out half of every layer with all span bookkeeping hoisted out of
+// the inner loops; other masks fall back to the dense tiled kernel (the
+// cached product is zero where masked, so dense is always correct), which
+// at these widths beats the per-row span-intersection machinery.
+func (b *madeBatch) layerInto(i int, out, in *tensor.Tensor) {
+	l := b.m.layers[i]
+	if b.suffix[i] {
+		tensor.MatMulMaskedSuffixInto(out, in, l.cache.Get(), l.cache.Spans())
+	} else {
+		tensor.MatMulInto(out, in, l.cache.Get())
+	}
+}
+
+func (b *madeBatch) hidden() *tensor.Tensor {
+	in := b.x
+	for i := 0; i < len(b.m.layers)-1; i++ {
+		out := b.acts[i]
+		b.layerInto(i, out, in)
+		addRowBiasReLU(out, b.m.layers[i].B.Data)
+		in = out
+	}
+	return in
+}
+
+// Forward computes the full B×InDim logits for the current X.
+func (b *madeBatch) Forward() *tensor.Tensor {
+	h := b.hidden()
+	last := len(b.m.layers) - 1
+	out := b.acts[last]
+	b.layerInto(last, out, h)
+	addRowBias(out, b.m.layers[last].B.Data)
+	return out
+}
+
+// hiddenFor computes the hidden activations restricted to the unit
+// prefixes column i's logits depend on; columns beyond a layer's prefix
+// keep stale values that nothing downstream reads.
+func (b *madeBatch) hiddenFor(i int) *tensor.Tensor {
+	if b.heads == nil {
+		return b.hidden()
+	}
+	in := b.x
+	for l := 0; l < len(b.m.layers)-1; l++ {
+		lay := b.m.layers[l]
+		out := b.acts[l]
+		head := b.heads[i][l]
+		if l == 0 {
+			// The input is nearly all zeros (one one-hot per sampled
+			// column), so the axpy form's sparse path wins here.
+			tensor.MatMulMaskedSuffixHeadInto(out, in, lay.cache.Get(), lay.cache.Spans(), head)
+			addRowBiasReLUHead(out, lay.B.Data, head)
+		} else {
+			tensor.MatMulPrefixReLUInto(out, in, b.wtFor(l), b.prefixes[l], lay.B.Data, head)
+		}
+		in = out
+	}
+	return in
+}
+
+// ForwardCol computes only column i's B×colSizes[i] logit block: the
+// output layer is sliced to that block and the hidden layers to the unit
+// prefix the block depends on, skipping the rest of the (widest) matmul in
+// the net.
+func (b *madeBatch) ForwardCol(i int) *tensor.Tensor {
+	h := b.hiddenFor(i)
+	last := len(b.m.layers) - 1
+	l := b.m.layers[last]
+	out := b.colViews[i]
+	off := b.m.offsets[i]
+	bias := l.B.Data[off : off+out.Cols]
+	if b.heads != nil {
+		// Every logit in a block shares one dependency prefix (the last
+		// hidden head), so the block is a uniform prefix-dot with the bias
+		// folded in.
+		b.wtFor(last)
+		tensor.MatMulPrefixBiasInto(out, h, b.outViews[i], bias, b.heads[i][last-1])
+		return out
+	}
+	tensor.MatMulMaskedSliceInto(out, h, l.cache.Get(), l.cache.Spans(), off)
+	for r := 0; r < out.Rows; r++ {
+		row := out.Row(r)
+		for j, bv := range bias {
+			row[j] += bv
+		}
+	}
+	return out
+}
+
+// addRowBias adds the 1×cols bias row to every row of t.
+func addRowBias(t *tensor.Tensor, bias []float64) {
+	for r := 0; r < t.Rows; r++ {
+		row := t.Row(r)[:len(bias)]
+		for j, bv := range bias {
+			row[j] += bv
+		}
+	}
+}
+
+// addRowBiasReLU adds the bias row to every row of t and applies ReLU.
+func addRowBiasReLU(t *tensor.Tensor, bias []float64) {
+	for r := 0; r < t.Rows; r++ {
+		row := t.Row(r)[:len(bias)]
+		for j, bv := range bias {
+			// Branchless: the sign of a pre-activation is close to a coin
+			// flip, so a conditional here mispredicts constantly.
+			row[j] = max(row[j]+bv, 0)
+		}
+	}
+}
+
+// addRowBiasReLUHead is addRowBiasReLU restricted to the first head
+// columns of every row.
+func addRowBiasReLUHead(t *tensor.Tensor, bias []float64, head int) {
+	bias = bias[:head]
+	for r := 0; r < t.Rows; r++ {
+		row := t.Row(r)[:head]
+		for j, bv := range bias {
+			row[j] = max(row[j]+bv, 0)
+		}
+	}
+}

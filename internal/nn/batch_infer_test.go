@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sam/internal/tensor"
+)
+
+// fillLaneOneHots sets one random one-hot per column block in every lane
+// of x and mirrors lane l into singles[l].
+func fillLaneOneHots(rng *rand.Rand, x *tensor.Tensor, offsets, colSizes []int, singles [][]float64) {
+	for l := 0; l < x.Rows; l++ {
+		row := x.Row(l)
+		for i := range row {
+			row[i] = 0
+		}
+		for i, off := range offsets {
+			row[off+rng.Intn(colSizes[i])] = 1
+		}
+		copy(singles[l], row)
+	}
+}
+
+// backboneBatchMatchesSingle drives a B-lane batched forward against B
+// independent single-row inferences and checks Forward and every ForwardCol
+// block agree lane by lane. The batched ForwardCol path runs restricted
+// (head-limited, transposed-dot) kernels, so this is the equivalence proof
+// for the whole batched sampling stack.
+func backboneBatchMatchesSingle(t *testing.T, m Backbone, colSizes []int, tol float64) {
+	t.Helper()
+	const lanes = 5
+	rng := rand.New(rand.NewSource(41))
+	bi := m.NewBatchInference(lanes)
+	if bi.Batch() != lanes {
+		t.Fatalf("Batch() = %d, want %d", bi.Batch(), lanes)
+	}
+	singles := make([][]float64, lanes)
+	for l := range singles {
+		singles[l] = make([]float64, m.InDim())
+	}
+	fillLaneOneHots(rng, bi.X(), m.Offsets(), colSizes, singles)
+
+	buf := m.NewInference()
+	want := make([][]float64, lanes)
+	for l := range want {
+		copy(buf.X(), singles[l])
+		want[l] = append([]float64(nil), buf.Forward()...)
+	}
+
+	out := bi.Forward()
+	for l := 0; l < lanes; l++ {
+		row := out.Row(l)
+		for j := range row {
+			if math.Abs(row[j]-want[l][j]) > tol {
+				t.Fatalf("Forward lane %d logit %d: batched %v vs single %v",
+					l, j, row[j], want[l][j])
+			}
+		}
+	}
+	for i := range colSizes {
+		block := bi.ForwardCol(i)
+		for l := 0; l < lanes; l++ {
+			row := block.Row(l)
+			wantBlock := m.ColLogits(want[l], i)
+			for j := range row {
+				if math.Abs(row[j]-wantBlock[j]) > tol {
+					t.Fatalf("ForwardCol(%d) lane %d logit %d: batched %v vs single %v",
+						i, l, j, row[j], wantBlock[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMADEBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	colSizes := []int{3, 5, 2, 7, 4}
+	backboneBatchMatchesSingle(t, NewMADE(rng, colSizes, 24, 2), colSizes, 1e-9)
+}
+
+func TestMADEBatchMatchesSingleOneHiddenLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	colSizes := []int{4, 3, 6}
+	backboneBatchMatchesSingle(t, NewMADE(rng, colSizes, 16, 1), colSizes, 1e-9)
+}
+
+func TestTransformerBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	colSizes := []int{3, 4, 2}
+	backboneBatchMatchesSingle(t, NewTransformer(rng, colSizes, 16, 2, 32, 2), colSizes, 1e-9)
+}
+
+// TestMADEBatchForwardColAllocFree pins the per-sweep contract the batched
+// sampler's throughput rests on: once constructed, a batched ForwardCol
+// performs zero heap allocations (kernels serial — the parallel path
+// allocates goroutine bookkeeping).
+func TestMADEBatchForwardColAllocFree(t *testing.T) {
+	old := tensor.MatMulWorkers()
+	tensor.SetMatMulWorkers(1)
+	defer tensor.SetMatMulWorkers(old)
+
+	rng := rand.New(rand.NewSource(12))
+	colSizes := []int{6, 4, 8, 3}
+	m := NewMADE(rng, colSizes, 32, 2)
+	bi := m.NewBatchInference(16)
+	singles := make([][]float64, 16)
+	for l := range singles {
+		singles[l] = make([]float64, m.InDim())
+	}
+	fillLaneOneHots(rng, bi.X(), m.Offsets(), colSizes, singles)
+	sweep := func() {
+		for i := range colSizes {
+			bi.ForwardCol(i)
+		}
+	}
+	sweep() // warm transposed-weight caches
+	if n := testing.AllocsPerRun(20, sweep); n != 0 {
+		t.Fatalf("warm batched ForwardCol sweep allocates %v times, want 0", n)
+	}
+}
+
+// TestMADEBatchTracksRetraining checks the transposed-weight caches follow
+// weight updates: mutating a layer (with MarkDirty, as optimizers do) must
+// change the batched ForwardCol output to match a fresh single-row forward.
+func TestMADEBatchTracksRetraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	colSizes := []int{3, 4, 5}
+	m := NewMADE(rng, colSizes, 12, 2)
+	bi := m.NewBatchInference(2)
+	singles := make([][]float64, 2)
+	for l := range singles {
+		singles[l] = make([]float64, m.InDim())
+	}
+	fillLaneOneHots(rng, bi.X(), m.Offsets(), colSizes, singles)
+	bi.ForwardCol(len(colSizes) - 1) // populate caches pre-update
+
+	for _, p := range m.Params() {
+		for i := range p.Data {
+			p.Data[i] += 0.05 * rng.NormFloat64()
+		}
+		p.MarkDirty()
+	}
+
+	buf := m.NewInference()
+	last := len(colSizes) - 1
+	block := bi.ForwardCol(last)
+	for l := 0; l < 2; l++ {
+		copy(buf.X(), singles[l])
+		want := m.ColLogits(buf.Forward(), last)
+		row := block.Row(l)
+		for j := range row {
+			if math.Abs(row[j]-want[j]) > 1e-9 {
+				t.Fatalf("lane %d logit %d stale after retrain: %v vs %v",
+					l, j, row[j], want[j])
+			}
+		}
+	}
+}

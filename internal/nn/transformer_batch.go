@@ -1,0 +1,244 @@
+package nn
+
+import (
+	"math"
+
+	"sam/internal/tensor"
+)
+
+// transformerBatch is the Transformer's BatchInference. Buffers are
+// position-major — row p*B+l holds position p of lane l — so the q/k/v,
+// output and feed-forward projections of a whole prefix become single
+// GEMMs over (positions×B) rows via precomputed prefix views. Attention
+// and layer norms stay scalar per (lane, position); they are O(d) per row
+// versus the projections' O(d²), so the GEMMs dominate.
+type transformerBatch struct {
+	t     *Transformer
+	batch int
+
+	x   *tensor.Tensor // B × inDim
+	out *tensor.Tensor // B × inDim (Forward result)
+
+	seq, normed, q, k, v, ctx *tensor.Tensor // (n·B) × dModel
+	ff                        *tensor.Tensor // (n·B) × ff
+
+	// Prefix views: index p exposes the first (p+1)·B rows of the matching
+	// buffer, so a step-p forward runs its GEMMs over exactly the live
+	// prefix without reallocating headers.
+	seqV, normedV, qV, kV, vV, ctxV, ffV []*tensor.Tensor
+
+	scores   []float64
+	colViews []*tensor.Tensor // B × colSizes[i] views over a shared buffer
+}
+
+// NewBatchInference allocates batched scratch sized for t and b lanes.
+func (t *Transformer) NewBatchInference(b int) BatchInference {
+	if b < 1 {
+		panic("nn: batch inference needs at least one lane")
+	}
+	n := len(t.colSizes)
+	bi := &transformerBatch{
+		t:      t,
+		batch:  b,
+		x:      tensor.New(b, t.inDim),
+		out:    tensor.New(b, t.inDim),
+		seq:    tensor.New(n*b, t.dModel),
+		normed: tensor.New(n*b, t.dModel),
+		q:      tensor.New(n*b, t.dModel),
+		k:      tensor.New(n*b, t.dModel),
+		v:      tensor.New(n*b, t.dModel),
+		ctx:    tensor.New(n*b, t.dModel),
+		ff:     tensor.New(n*b, t.ff),
+		scores: make([]float64, n),
+	}
+	view := func(full *tensor.Tensor, cols int) []*tensor.Tensor {
+		vs := make([]*tensor.Tensor, n)
+		for p := 0; p < n; p++ {
+			rows := (p + 1) * b
+			vs[p] = tensor.FromSlice(rows, cols, full.Data[:rows*cols])
+		}
+		return vs
+	}
+	bi.seqV = view(bi.seq, t.dModel)
+	bi.normedV = view(bi.normed, t.dModel)
+	bi.qV = view(bi.q, t.dModel)
+	bi.kV = view(bi.k, t.dModel)
+	bi.vV = view(bi.v, t.dModel)
+	bi.ctxV = view(bi.ctx, t.dModel)
+	bi.ffV = view(bi.ff, t.ff)
+	maxSize := 0
+	for _, s := range t.colSizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	colBuf := make([]float64, b*maxSize)
+	for _, s := range t.colSizes {
+		bi.colViews = append(bi.colViews, tensor.FromSlice(b, s, colBuf[:b*s]))
+	}
+	return bi
+}
+
+// Batch returns the lane count.
+func (b *transformerBatch) Batch() int { return b.batch }
+
+// X returns the reusable B×InDim input matrix.
+func (b *transformerBatch) X() *tensor.Tensor { return b.x }
+
+// forwardPrefix runs the transformer over token positions 0..p for every
+// lane, leaving the final layer-normed hidden states in b.normed. It
+// mirrors the single-row inference path exactly (pre-norm blocks, causal
+// attention, shifted tokens).
+func (b *transformerBatch) forwardPrefix(p int) {
+	t := b.t
+	B := b.batch
+
+	// Tokens: SOS then shifted column embeddings, plus positions.
+	for pos := 0; pos <= p; pos++ {
+		posRow := t.pos.Row(pos)
+		for l := 0; l < B; l++ {
+			row := b.seq.Row(pos*B + l)
+			if pos == 0 {
+				copy(row, t.sos.Data)
+			} else {
+				for j := range row {
+					row[j] = 0
+				}
+				off, size := t.offsets[pos-1], t.colSizes[pos-1]
+				xrow := b.x.Row(l)
+				for c := 0; c < size; c++ {
+					xv := xrow[off+c]
+					if xv == 0 {
+						continue
+					}
+					emb := t.wEmb.Row(off + c)
+					for j, ev := range emb {
+						row[j] += xv * ev
+					}
+				}
+			}
+			for j, pv := range posRow {
+				row[j] += pv
+			}
+		}
+	}
+
+	rows := (p + 1) * B
+	scale := 1 / math.Sqrt(float64(t.dk))
+	for _, layer := range t.layers {
+		// Pre-norm attention block.
+		for r := 0; r < rows; r++ {
+			layerNormRow(b.normed.Row(r), b.seq.Row(r), layer.ln1Gain.Data, layer.ln1Bias.Data, 1e-5)
+		}
+		tensor.MatMulInto(b.qV[p], b.normedV[p], layer.wq)
+		tensor.MatMulInto(b.kV[p], b.normedV[p], layer.wk)
+		tensor.MatMulInto(b.vV[p], b.normedV[p], layer.wv)
+		zero := b.ctx.Data[:rows*t.dModel]
+		for i := range zero {
+			zero[i] = 0
+		}
+		for hd := 0; hd < t.heads; hd++ {
+			lo := hd * t.dk
+			hi := lo + t.dk
+			for l := 0; l < B; l++ {
+				for i := 0; i <= p; i++ {
+					qi := b.q.Row(i*B + l)
+					scores := b.scores[:i+1]
+					maxv := math.Inf(-1)
+					for j := 0; j <= i; j++ {
+						kj := b.k.Row(j*B + l)
+						var s float64
+						for c := lo; c < hi; c++ {
+							s += qi[c] * kj[c]
+						}
+						scores[j] = s * scale
+						if scores[j] > maxv {
+							maxv = scores[j]
+						}
+					}
+					var sum float64
+					for j := range scores {
+						scores[j] = math.Exp(scores[j] - maxv)
+						sum += scores[j]
+					}
+					inv := 1 / sum
+					ctxRow := b.ctx.Row(i*B + l)
+					for j := 0; j <= i; j++ {
+						pj := scores[j] * inv
+						vj := b.v.Row(j*B + l)
+						for c := lo; c < hi; c++ {
+							ctxRow[c] += pj * vj[c]
+						}
+					}
+				}
+			}
+		}
+		tensor.MatMulInto(b.normedV[p], b.ctxV[p], layer.wo)
+		addRows(b.seqV[p], b.normedV[p])
+
+		// Pre-norm feed-forward block.
+		for r := 0; r < rows; r++ {
+			layerNormRow(b.normed.Row(r), b.seq.Row(r), layer.ln2Gain.Data, layer.ln2Bias.Data, 1e-5)
+		}
+		tensor.MatMulInto(b.ffV[p], b.normedV[p], layer.w1)
+		addRowBiasReLU(b.ffV[p], layer.b1.Data)
+		tensor.MatMulInto(b.normedV[p], b.ffV[p], layer.w2)
+		addRowBias(b.normedV[p], layer.b2.Data)
+		addRows(b.seqV[p], b.normedV[p])
+	}
+
+	for r := 0; r < rows; r++ {
+		layerNormRow(b.normed.Row(r), b.seq.Row(r), t.lnFGain.Data, t.lnFBias.Data, 1e-5)
+	}
+}
+
+// writeBlock projects position i's hidden state of every lane onto column
+// i's output block; put(l) supplies the destination slice for lane l.
+func (b *transformerBatch) writeBlock(i int, put func(l int) []float64) {
+	t := b.t
+	off, size := t.offsets[i], t.colSizes[i]
+	for l := 0; l < b.batch; l++ {
+		h := b.normed.Row(i*b.batch + l)
+		dst := put(l)
+		copy(dst, t.bOut.Data[off:off+size])
+		for kk, hv := range h {
+			if hv == 0 {
+				continue
+			}
+			wrow := t.wOut.Data[kk*t.inDim+off : kk*t.inDim+off+size]
+			for j, wv := range wrow {
+				dst[j] += hv * wv
+			}
+		}
+	}
+}
+
+// Forward computes the full B×InDim logits for the current X.
+func (b *transformerBatch) Forward() *tensor.Tensor {
+	n := len(b.t.colSizes)
+	b.forwardPrefix(n - 1)
+	for i := 0; i < n; i++ {
+		off, size := b.t.offsets[i], b.t.colSizes[i]
+		b.writeBlock(i, func(l int) []float64 {
+			return b.out.Row(l)[off : off+size]
+		})
+	}
+	return b.out
+}
+
+// ForwardCol computes only column i's B×colSizes[i] logit block, running
+// the transformer over just the prefix positions 0..i that feed it.
+func (b *transformerBatch) ForwardCol(i int) *tensor.Tensor {
+	b.forwardPrefix(i)
+	out := b.colViews[i]
+	b.writeBlock(i, out.Row)
+	return out
+}
+
+// addRows adds o to t elementwise (same shape, shared-prefix views).
+func addRows(t, o *tensor.Tensor) {
+	td := t.Data
+	for i, v := range o.Data[:len(td)] {
+		td[i] += v
+	}
+}

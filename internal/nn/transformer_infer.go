@@ -17,6 +17,7 @@ type transformerInference struct {
 	ctx    [][]float64
 	ffBuf  []float64
 	scores []float64 // one row of attention scores
+	logits []float64 // inDim scratch for the output projection
 	out    []float64 // inDim logits
 }
 
@@ -41,6 +42,7 @@ func (t *Transformer) NewInference() Inference {
 		ctx:    mk(),
 		ffBuf:  make([]float64, t.ff),
 		scores: make([]float64, n),
+		logits: make([]float64, t.inDim),
 		out:    make([]float64, t.inDim),
 	}
 }
@@ -73,12 +75,6 @@ func affine(dst, src []float64, w *tensorDense, add []float64) {
 type tensorDense struct {
 	data []float64
 	cols int
-}
-
-func dense(t interface {
-	Row(int) []float64
-}, _ int) tensorDense {
-	panic("unused")
 }
 
 // layerNormRow normalizes src into dst with the given gain/bias rows.
@@ -213,7 +209,7 @@ func (b *transformerInference) Forward() []float64 {
 	}
 
 	wOut := tensorDense{t.wOut.Data, t.inDim}
-	logits := make([]float64, t.inDim)
+	logits := b.logits
 	for i := 0; i < n; i++ {
 		layerNormRow(b.normed[i], b.seq[i], t.lnFGain.Data, t.lnFBias.Data, 1e-5)
 		affine(logits, b.normed[i], &wOut, t.bOut.Data)

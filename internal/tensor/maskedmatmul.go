@@ -1,5 +1,7 @@
 package tensor
 
+import "fmt"
+
 // Span-aware matmul kernels for masked weight matrices. The mask's per-row
 // nonzero column spans (precomputed by MaskedWeight) bound where the cached
 // product W∘Mask can be nonzero, so each kernel touches only those columns.
@@ -45,6 +47,412 @@ func MatMulMaskedTransAInto(dst, a, b *Tensor, spans []int) {
 		return
 	}
 	runKernel(a.Cols, a.Rows*a.Cols*b.Cols, matMulMaskedTransARange, dst, a, b, spans, false)
+}
+
+// SpansSuffixMonotone reports whether spans describe rows whose nonzeros
+// are suffixes [start, n) with nondecreasing starts — the shape MADE's
+// sorted-degree masks always have (empty rows encode as [n, n) and must
+// come last). The suffix kernels below exploit this: a quad's span
+// intersection is just the last row's span, and the rows reaching a column
+// slice form a prefix.
+func SpansSuffixMonotone(spans []int, n int) bool {
+	prev := 0
+	for k := 0; 2*k < len(spans); k++ {
+		s, e := spans[2*k], spans[2*k+1]
+		if s < prev || e != n {
+			return false
+		}
+		prev = s
+	}
+	return true
+}
+
+// MatMulMaskedSuffixInto computes dst = a·mw for a masked weight whose
+// spans satisfy SpansSuffixMonotone. Compared to MatMulMaskedInto it hoists
+// all span-intersection work out of the inner loops: a quad of weight rows
+// intersects to the last row's suffix, and the at most three leftover
+// prefixes are applied scalar (adjacent sorted-degree rows have nearly
+// identical starts, so leftovers are tiny). The kernel is not k-tiled —
+// it targets the narrow hidden layers of batched ancestral sampling.
+func MatMulMaskedSuffixInto(dst, a, mw *Tensor, spans []int) {
+	checkMatMul(dst, a, mw)
+	runKernel(a.Rows, a.Rows*a.Cols*mw.Cols, matMulSuffixRange, dst, a, mw, spans, false)
+}
+
+// matMulSuffixRange computes rows [lo, hi) of dst = a·mw assuming
+// suffix-monotone spans.
+func matMulSuffixRange(dst, a, b *Tensor, spans []int, lo, hi int, acc bool) {
+	cols, n := a.Cols, b.Cols
+	if !acc {
+		z := dst.Data[lo*n : hi*n]
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	if cols == 0 || n == 0 {
+		return
+	}
+	if looksSparse(a.Data[lo*cols : hi*cols]) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*cols : (i+1)*cols]
+			drow := dst.Data[i*n : (i+1)*n]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				if s := spans[2*k]; s < n {
+					axpy1(drow[s:], b.Data[k*n+s:(k+1)*n], av)
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*cols : (i+1)*cols]
+		drow := dst.Data[i*n : (i+1)*n]
+		k := 0
+		for ; k+4 <= cols; k += 4 {
+			v0, v1, v2, v3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			s := spans[2*(k+3)] // monotone: the quad's widest start
+			if s < n {
+				axpy4(drow[s:],
+					b.Data[k*n+s:(k+1)*n], b.Data[(k+1)*n+s:(k+2)*n],
+					b.Data[(k+2)*n+s:(k+3)*n], b.Data[(k+3)*n+s:(k+4)*n],
+					v0, v1, v2, v3)
+			}
+			if spans[2*k] < s { // leftover prefixes of rows k..k+2
+				vs := [3]float64{v0, v1, v2}
+				for t := 0; t < 3; t++ {
+					v := vs[t]
+					if v == 0 {
+						continue
+					}
+					if ks := spans[2*(k+t)]; ks < s {
+						axpy1(drow[ks:s], b.Data[(k+t)*n+ks:(k+t)*n+s], v)
+					}
+				}
+			}
+		}
+		for ; k < cols; k++ {
+			if av := arow[k]; av != 0 {
+				if s := spans[2*k]; s < n {
+					axpy1(drow[s:], b.Data[k*n+s:(k+1)*n], av)
+				}
+			}
+		}
+	}
+}
+
+// MatMulMaskedSuffixHeadInto computes only columns [0, head) of
+// dst = a·mw for suffix-monotone spans; the remaining dst columns are left
+// untouched. Batched ancestral sampling uses it to evaluate a hidden layer
+// restricted to the unit prefix that the current column's logits can
+// actually depend on (suffix starts are sorted degree boundaries, so that
+// dependency set is always a prefix). Rows of mw whose suffix starts at or
+// past head contribute nothing and are skipped wholesale.
+func MatMulMaskedSuffixHeadInto(dst, a, mw *Tensor, spans []int, head int) {
+	checkMatMul(dst, a, mw)
+	if head < 0 || head > mw.Cols {
+		panic(fmt.Sprintf("tensor: suffix head %d out of range [0,%d]", head, mw.Cols))
+	}
+	cols, n := a.Cols, mw.Cols
+	kEnd := 0
+	for k := 0; k < cols; k++ {
+		if spans[2*k] < head {
+			kEnd = k + 1
+		} else {
+			break
+		}
+	}
+	sparse := a.Rows > 0 && looksSparse(a.Data)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*cols : i*cols+kEnd]
+		drow := dst.Data[i*n : i*n+head]
+		for j := range drow {
+			drow[j] = 0
+		}
+		if sparse {
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s := spans[2*k]
+				axpy1(drow[s:], mw.Data[k*n+s:k*n+head], av)
+			}
+			continue
+		}
+		k := 0
+		for ; k+4 <= kEnd; k += 4 {
+			v0, v1, v2, v3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			s := spans[2*(k+3)] // monotone: the quad's widest start, < head
+			axpy4(drow[s:],
+				mw.Data[k*n+s:k*n+head], mw.Data[(k+1)*n+s:(k+1)*n+head],
+				mw.Data[(k+2)*n+s:(k+2)*n+head], mw.Data[(k+3)*n+s:(k+3)*n+head],
+				v0, v1, v2, v3)
+			if spans[2*k] < s {
+				vs := [3]float64{v0, v1, v2}
+				for t := 0; t < 3; t++ {
+					v := vs[t]
+					if v == 0 {
+						continue
+					}
+					if ks := spans[2*(k+t)]; ks < s {
+						axpy1(drow[ks:s], mw.Data[(k+t)*n+ks:(k+t)*n+s], v)
+					}
+				}
+			}
+		}
+		for ; k < kEnd; k++ {
+			if av := arow[k]; av != 0 {
+				s := spans[2*k]
+				axpy1(drow[s:], mw.Data[k*n+s:k*n+head], av)
+			}
+		}
+	}
+}
+
+// The prefix-dot kernels below are the transposed formulation of the
+// suffix kernels: with wt = (W∘Mask)ᵀ, output unit j depends on the input
+// PREFIX [0, prefix[j]) (the transpose of sorted suffix spans), so each
+// output is one dense dot product with four accumulator chains, no
+// destination zeroing, and the bias (and ReLU) fused into the write. At
+// ancestral-sampling widths this removes the per-quad span and slice
+// bookkeeping that dominates the axpy formulation.
+
+// MatMulPrefixReLUInto computes dst[:, :head] = relu(a·wtᵀ + bias), where
+// wt holds the masked weight transposed (wt row j = weight column j) and
+// prefix[j] is the nonzero prefix length of wt row j, nondecreasing in j.
+// dst columns at or past head are left untouched.
+func MatMulPrefixReLUInto(dst, a, wt *Tensor, prefix []int, bias []float64, head int) {
+	if a.Cols != wt.Cols || dst.Rows != a.Rows || head < 0 || head > wt.Rows || head > dst.Cols {
+		panic(fmt.Sprintf("tensor: prefix matmul mismatch %v·%vᵀ→%v head %d", a, wt, dst, head))
+	}
+	ac, n := a.Cols, dst.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*ac : (i+1)*ac]
+		drow := dst.Data[i*n : i*n+head]
+		j := 0
+		for ; j+4 <= head; j += 4 {
+			p := prefix[j] // the quad's shortest prefix
+			s0, s1, s2, s3 := dot4Dense(arow[:p],
+				wt.Data[j*ac:j*ac+p], wt.Data[(j+1)*ac:(j+1)*ac+p],
+				wt.Data[(j+2)*ac:(j+2)*ac+p], wt.Data[(j+3)*ac:(j+3)*ac+p])
+			if q := prefix[j+1]; q > p {
+				s1 += dot1Dense(arow[p:q], wt.Data[(j+1)*ac+p:(j+1)*ac+q])
+			}
+			if q := prefix[j+2]; q > p {
+				s2 += dot1Dense(arow[p:q], wt.Data[(j+2)*ac+p:(j+2)*ac+q])
+			}
+			if q := prefix[j+3]; q > p {
+				s3 += dot1Dense(arow[p:q], wt.Data[(j+3)*ac+p:(j+3)*ac+q])
+			}
+			drow[j] = max(s0+bias[j], 0)
+			drow[j+1] = max(s1+bias[j+1], 0)
+			drow[j+2] = max(s2+bias[j+2], 0)
+			drow[j+3] = max(s3+bias[j+3], 0)
+		}
+		for ; j < head; j++ {
+			p := prefix[j]
+			drow[j] = max(dot1Dense(arow[:p], wt.Data[j*ac:j*ac+p])+bias[j], 0)
+		}
+	}
+}
+
+// MatMulPrefixBiasInto computes dst = a[:, :p]·wtᵀ + bias for one uniform
+// prefix p — the output-block form of the prefix dot, where every logit of
+// a column block shares the same dependency prefix. dst must be
+// a.Rows×wt.Rows.
+func MatMulPrefixBiasInto(dst, a, wt *Tensor, bias []float64, p int) {
+	m := dst.Cols
+	if a.Cols != wt.Cols || dst.Rows != a.Rows || m != wt.Rows || p < 0 || p > a.Cols {
+		panic(fmt.Sprintf("tensor: prefix block matmul mismatch %v·%vᵀ→%v p %d", a, wt, dst, p))
+	}
+	ac := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*ac : i*ac+p]
+		drow := dst.Data[i*m : (i+1)*m]
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			s0, s1, s2, s3 := dot4Dense(arow,
+				wt.Data[j*ac:j*ac+p], wt.Data[(j+1)*ac:(j+1)*ac+p],
+				wt.Data[(j+2)*ac:(j+2)*ac+p], wt.Data[(j+3)*ac:(j+3)*ac+p])
+			drow[j] = s0 + bias[j]
+			drow[j+1] = s1 + bias[j+1]
+			drow[j+2] = s2 + bias[j+2]
+			drow[j+3] = s3 + bias[j+3]
+		}
+		for ; j < m; j++ {
+			drow[j] = dot1Dense(arow, wt.Data[j*ac:j*ac+p]) + bias[j]
+		}
+	}
+}
+
+// dot4Dense is dot4 without the zero-skip branch: ReLU activations are
+// about half zeros in a random pattern, so the skip mispredicts more than
+// it saves.
+func dot4Dense(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	b2 = b2[:len(a)]
+	b3 = b3[:len(a)]
+	for k, av := range a {
+		s0 += av * b0[k]
+		s1 += av * b1[k]
+		s2 += av * b2[k]
+		s3 += av * b3[k]
+	}
+	return
+}
+
+// dot1Dense is the single-row counterpart of dot4Dense.
+func dot1Dense(a, b []float64) (s float64) {
+	b = b[:len(a)]
+	for k, av := range a {
+		s += av * b[k]
+	}
+	return
+}
+
+// MatMulMaskedSliceInto computes dst = a·mw[:, off:off+dst.Cols] — a
+// column slice of a masked matmul. Ancestral sampling uses it to produce
+// only the current column's logit block instead of the full output row,
+// which skips most of the (wide) output layer per sampling step. spans are
+// the mask's per-row nonzero ranges (nil means dense) and are clipped to
+// the slice; suffix-monotone spans take a fast path where only a prefix of
+// the weight rows is visited. Batch rows are small here, so the kernel
+// stays serial.
+func MatMulMaskedSliceInto(dst, a, mw *Tensor, spans []int, off int) {
+	width := dst.Cols
+	if a.Cols != mw.Rows || dst.Rows != a.Rows || off < 0 || off+width > mw.Cols {
+		panic(fmt.Sprintf("tensor: matmul slice mismatch %v,%v[%d:%d]→%v", a, mw, off, off+width, dst))
+	}
+	end := off + width
+	n := mw.Cols
+	cols := a.Cols
+	if spans != nil && SpansSuffixMonotone(spans, n) {
+		matMulSuffixSlice(dst, a, mw, spans, off, end)
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*cols : (i+1)*cols]
+		drow := dst.Data[i*width : (i+1)*width]
+		for j := range drow {
+			drow[j] = 0
+		}
+		k := 0
+		for ; k+4 <= cols; k += 4 {
+			v0, v1, v2, v3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			// Fast path: all four weight rows cover the whole block, which
+			// is the common case for MADE's suffix-shaped output spans.
+			if spans == nil || spanCovers4(spans, k, off, end) {
+				axpy4(drow,
+					mw.Data[k*n+off:k*n+end], mw.Data[(k+1)*n+off:(k+1)*n+end],
+					mw.Data[(k+2)*n+off:(k+2)*n+end], mw.Data[(k+3)*n+off:(k+3)*n+end],
+					v0, v1, v2, v3)
+				continue
+			}
+			vs := [4]float64{v0, v1, v2, v3}
+			for t := 0; t < 4; t++ {
+				sliceAxpy(drow, mw, spans, k+t, n, off, end, vs[t])
+			}
+		}
+		for ; k < cols; k++ {
+			sliceAxpy(drow, mw, spans, k, n, off, end, arow[k])
+		}
+	}
+}
+
+// matMulSuffixSlice is the suffix-monotone fast path of
+// MatMulMaskedSliceInto: rows whose suffix starts at or before off cover
+// the whole block and form a prefix handled with axpy4; the few rows
+// starting inside the block get clipped scalar updates; rows starting at or
+// past end are never visited.
+func matMulSuffixSlice(dst, a, mw *Tensor, spans []int, off, end int) {
+	width := end - off
+	n := mw.Cols
+	cols := a.Cols
+	kFull, kEnd := 0, 0
+	for k := 0; k < cols; k++ {
+		s := spans[2*k]
+		if s <= off {
+			kFull = k + 1
+		}
+		if s < end {
+			kEnd = k + 1
+		} else {
+			break
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*cols : (i+1)*cols]
+		drow := dst.Data[i*width : (i+1)*width]
+		for j := range drow {
+			drow[j] = 0
+		}
+		k := 0
+		for ; k+4 <= kFull; k += 4 {
+			v0, v1, v2, v3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			axpy4(drow,
+				mw.Data[k*n+off:k*n+end], mw.Data[(k+1)*n+off:(k+1)*n+end],
+				mw.Data[(k+2)*n+off:(k+2)*n+end], mw.Data[(k+3)*n+off:(k+3)*n+end],
+				v0, v1, v2, v3)
+		}
+		for ; k < kEnd; k++ {
+			v := arow[k]
+			if v == 0 {
+				continue
+			}
+			s := spans[2*k]
+			if s <= off {
+				axpy1(drow, mw.Data[k*n+off:k*n+end], v)
+			} else {
+				axpy1(drow[s-off:], mw.Data[k*n+s:k*n+end], v)
+			}
+		}
+	}
+}
+
+// spanCovers4 reports whether the spans of rows k..k+3 all contain
+// [off, end).
+func spanCovers4(spans []int, k, off, end int) bool {
+	for t := 0; t < 4; t++ {
+		if spans[2*(k+t)] > off || spans[2*(k+t)+1] < end {
+			return false
+		}
+	}
+	return true
+}
+
+// sliceAxpy accumulates v·mw[k, clip] into the block-relative drow, where
+// clip is row k's span intersected with [off, end).
+func sliceAxpy(drow []float64, mw *Tensor, spans []int, k, n, off, end int, v float64) {
+	if v == 0 {
+		return
+	}
+	s, e := off, end
+	if spans != nil {
+		if ks := spans[2*k]; ks > s {
+			s = ks
+		}
+		if ke := spans[2*k+1]; ke < e {
+			e = ke
+		}
+	}
+	if s < e {
+		axpy1(drow[s-off:e-off], mw.Data[k*n+s:k*n+e], v)
+	}
 }
 
 // matMulMaskedRange computes rows [lo, hi) of dst = a·mw, touching only

@@ -58,6 +58,11 @@ func (c *MaskedWeight) RowSpan(r int) (start, end int) {
 	return c.spans[2*r], c.spans[2*r+1]
 }
 
+// Spans returns the per-row nonzero column ranges in the flat
+// [start0, end0, start1, end1, ...] layout the masked matmul kernels
+// consume. The slice is owned by the cache and must not be mutated.
+func (c *MaskedWeight) Spans() []int { return c.spans }
+
 // Weight returns the cached product's weight operand.
 func (c *MaskedWeight) Weight() *Tensor { return c.w }
 

@@ -419,3 +419,38 @@ func SoftmaxRowInto(dst, src []float64) {
 		dst[i] *= inv
 	}
 }
+
+// SoftmaxRowsInto writes the row-wise softmax of src into dst. The tensors
+// must have the same shape and may alias; every row is normalized
+// independently (the batched counterpart of SoftmaxRowInto).
+func SoftmaxRowsInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: softmax shape mismatch %v→%v", src, dst))
+	}
+	for r := 0; r < src.Rows; r++ {
+		SoftmaxRowInto(dst.Row(r), src.Row(r))
+	}
+}
+
+// ExpRowsInto writes exp(src − rowmax) into dst row by row without
+// normalizing — softmax up to a positive per-row factor. Categorical
+// samplers that accumulate their own total mass draw identically from the
+// unnormalized weights, which saves the normalization pass per row. The
+// tensors must have the same shape and may alias.
+func ExpRowsInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic(fmt.Sprintf("tensor: exp shape mismatch %v→%v", src, dst))
+	}
+	for r := 0; r < src.Rows; r++ {
+		srow, drow := src.Row(r), dst.Row(r)
+		maxv := math.Inf(-1)
+		for _, v := range srow {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		for i, v := range srow {
+			drow[i] = math.Exp(v - maxv)
+		}
+	}
+}

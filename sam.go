@@ -76,6 +76,8 @@ type (
 	ModelConfig = ar.Config
 	// GenOptions controls database generation.
 	GenOptions = core.GenOptions
+	// EvalOptions controls model-side workload evaluation (EvalModel).
+	EvalOptions = ar.EvalOptions
 	// Summary is a median/p75/p90/mean/max metric aggregate.
 	Summary = metrics.Summary
 
@@ -155,13 +157,15 @@ func Train(layout *Layout, wl *Workload, population float64, cfg TrainConfig) (*
 func DefaultGenOptions(seed int64) GenOptions { return core.DefaultGenOptions(seed) }
 
 // Generate synthesizes a database from a trained model. sizes gives the
-// target row count per table.
+// target row count per table. With opts.Batch > 1 each worker draws whole
+// batches of tuples per forward sweep (batched ancestral sampling); the
+// output is deterministic for a fixed (Seed, Workers, Batch) triple.
 func Generate(m *Model, sizes map[string]int, opts GenOptions) (*Schema, error) {
 	gen, err := core.FromModel(m, sizes)
 	if err != nil {
 		return nil, err
 	}
-	return gen.Generate(func() join.TupleSampler { return m.NewSampler() }, opts)
+	return gen.Generate(core.ModelSampler(m, opts.Batch), opts)
 }
 
 // Card executes a query against a database and returns its cardinality.
@@ -254,6 +258,18 @@ func ServeDebug(addr string, r *Registry) (string, error) { return obs.ServeDebu
 // per-query telemetry to h (which may be nil).
 func EvalWorkload(s *Schema, queries []CardQuery, h *Hooks) []float64 {
 	return engine.EvalWorkload(s, queries, h)
+}
+
+// DefaultEvalOptions returns the batched model-evaluation defaults.
+func DefaultEvalOptions(seed int64) EvalOptions { return ar.DefaultEvalOptions(seed) }
+
+// EvalModel estimates every constraint's cardinality directly from the
+// model via (batched) progressive sampling — no generated database — and
+// returns the Q-Errors versus the recorded cardinalities. Workers reuse
+// warm samplers and every query has its own rng stream, so the result
+// does not depend on opts.Workers.
+func EvalModel(m *Model, queries []CardQuery, opts EvalOptions, h *Hooks) []float64 {
+	return ar.EvalWorkload(m, queries, opts, h)
 }
 
 // CensusLike builds the census-like synthetic dataset (14 columns, domains
