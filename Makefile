@@ -1,0 +1,54 @@
+# Single source of truth for lint tooling and pinned versions. CI calls
+# these targets so local `make lint` and the CI lint job are identical; a
+# version bump happens here and nowhere else.
+
+STATICCHECK_VERSION ?= v0.4.7
+GOVULNCHECK_VERSION ?= v1.1.3
+
+GO ?= go
+
+.PHONY: all build test race lint fmt vet staticcheck samlint vuln bench-gate
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## lint runs the full static-analysis stack in CI order: formatting,
+## go vet, pinned staticcheck, then the project's own samlint suite.
+lint: fmt vet staticcheck samlint
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# staticcheck and govulncheck are fetched via `go run module@version`,
+# which keeps CI-only dependencies out of go.mod. They need network access
+# on first run; samlint (below) is fully in-repo and works offline.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+samlint:
+	$(GO) run ./cmd/samlint ./...
+
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+bench-gate:
+	$(GO) run ./cmd/sambench -tensorbench /tmp/bench_current.json
+	$(GO) run ./cmd/benchgate \
+		-baseline BENCH_tensor.json \
+		-current /tmp/bench_current.json \
+		-tol 1.0 \
+		-min sample_batched=3

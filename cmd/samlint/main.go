@@ -1,0 +1,135 @@
+// Command samlint runs the project's static-analysis suite (package
+// sam/internal/lint) over Go packages, in the spirit of a go/analysis
+// multichecker.
+//
+// Usage:
+//
+//	go run ./cmd/samlint [flags] [packages]
+//
+// With no package patterns it checks ./... — it must run from inside the
+// module, since type information is resolved through the go command.
+// Unsuppressed findings are printed one per line and the exit status is 1;
+// a clean run exits 0. Intentional exceptions are annotated in source with
+// //lint:allow <analyzer> <reason> markers (see package sam/internal/lint).
+//
+// Flags:
+//
+//	-list    print the analyzers in the suite and exit
+//	-fix     apply suggested fixes in place, then re-report what remains
+//	-v       also show suppressed findings with their allow reasons
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sam/internal/lint"
+	"sam/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers in the suite and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place")
+	verbose := flag.Bool("v", false, "also show suppressed findings")
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, a := range suite {
+			scope := "all packages"
+			if a.PipelineOnly {
+				scope = "pipeline packages"
+			}
+			fmt.Printf("%-14s %s [%s]\n", a.Name, a.Doc, scope)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(patterns, *fix, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "samlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, fix, verbose bool) error {
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return err
+	}
+	cfg := analysis.Config{IsPipeline: lint.IsPipelinePackage}
+	findings, err := analysis.Run(pkgs, lint.Suite(), cfg)
+	if err != nil {
+		return err
+	}
+
+	if fix {
+		fixed, err := applyFixes(loader, findings)
+		if err != nil {
+			return err
+		}
+		if fixed > 0 {
+			fmt.Printf("samlint: applied fixes to %d file(s); re-checking\n", fixed)
+			// Re-load and re-run so the report reflects post-fix state.
+			loader = analysis.NewLoader()
+			if pkgs, err = loader.Load(patterns...); err != nil {
+				return err
+			}
+			if findings, err = analysis.Run(pkgs, lint.Suite(), cfg); err != nil {
+				return err
+			}
+		}
+	}
+
+	bad := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			if verbose {
+				fmt.Printf("%s: %s (%s, allowed: %s)\n", f.Pos, f.Message, f.Analyzer, f.SuppressReason)
+			}
+			continue
+		}
+		bad++
+		fmt.Println(f)
+	}
+	if bad > 0 {
+		fmt.Printf("samlint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// applyFixes writes every unsuppressed suggested fix back to disk and
+// returns the number of files rewritten.
+func applyFixes(loader *analysis.Loader, findings []analysis.Finding) (int, error) {
+	sources := make(map[string][]byte)
+	for _, f := range findings {
+		if f.Suppressed || len(f.Fixes) == 0 {
+			continue
+		}
+		src, err := os.ReadFile(f.Pos.Filename)
+		if err != nil {
+			return 0, err
+		}
+		sources[f.Pos.Filename] = src
+	}
+	patched, err := analysis.ApplyFixes(loader.Fset, sources, findings)
+	if err != nil {
+		return 0, err
+	}
+	for name, content := range patched {
+		info, err := os.Stat(name)
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(name, content, info.Mode().Perm()); err != nil {
+			return 0, err
+		}
+	}
+	return len(patched), nil
+}

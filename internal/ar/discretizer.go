@@ -139,7 +139,7 @@ func (d *Discretizer) maskInto(mask []float64, preds []workload.Predicate, domai
 			inList = append(inList, p.Codes...)
 			continue
 		}
-		var merged []int32
+		merged := inList[:0]
 		for _, c := range inList {
 			if p.Matches(c) {
 				merged = append(merged, c)

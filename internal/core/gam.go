@@ -181,11 +181,13 @@ func (g *Generator) materializeGaM(flat []int32, k int, weights map[string][]flo
 					spans[m] = append(spans[m], keySpan{key: base + int64(c), frac: frac})
 					if !haveRepr[c] {
 						haveRepr[c] = true
+						//lint:allow hotalloc per-table key list built once per table in cold model construction
 						reprs = append(reprs, m)
 						pk := int64(0)
 						if parentSpans != nil {
 							pk = majorityKey(parentSpans[m])
 						}
+						//lint:allow hotalloc per-table key list built once per table in cold model construction
 						reprParent = append(reprParent, pk)
 					}
 				}
@@ -312,7 +314,8 @@ func (g *Generator) materializeViews(flat []int32, k int, weights map[string][]f
 		// Aggregate weights over samples with identical (content, parent
 		// content) bins so rounding happens per distinct tuple signature,
 		// matching the GaM path's granularity.
-		sigCols := append(append([]int(nil), contentCols...), parentContent...)
+		sigCols := make([]int, 0, len(contentCols)+len(parentContent))
+		sigCols = append(append(sigCols, contentCols...), parentContent...)
 		w := weights[t.Name]
 		type agg struct {
 			weight float64

@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Fixture packages live under testdata (so the go tool ignores them) but
+// are full compiling Go: they may import the module's real packages, and
+// the loader typechecks them against the real types. Expectations are
+// written at the end of the offending line:
+//
+//	rand.Intn(3) // want `global math/rand`
+//
+// Each back-quoted or double-quoted string is a regular expression that
+// must match exactly one diagnostic reported on that line; diagnostics
+// with no matching expectation, and expectations with no matching
+// diagnostic, both fail the test. Files without want comments assert the
+// analyzer stays silent on them.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sam/internal/lint/analysis"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// expectation is one want clause: a regexp expected to match a
+// diagnostic's message on a given line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads dir as a single fixture package, applies the analyzer, and
+// reports any mismatch between diagnostics and want comments as test
+// errors. It returns the findings so callers can make extra assertions
+// (e.g. on suggested fixes).
+func Run(t *testing.T, l *analysis.Loader, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := l.LoadDir(dir, "samlint.fixture/"+strings.ReplaceAll(dir, "/", "_"))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for name, src := range pkg.Sources {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			clauses, err := parseWantClauses(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: %v", name, i+1, err)
+			}
+			for _, c := range clauses {
+				re, err := regexp.Compile(c)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, c, err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, re: re, raw: c})
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Sources:   pkg.Sources,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmet expectation matching (pos, msg) as met.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWantClauses splits the text after "// want" into its quoted
+// regexps. Both back-quoted and double-quoted forms are accepted.
+func parseWantClauses(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '`' && quote != '"' {
+			return nil, fmt.Errorf("want clause must be a quoted regexp, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want clause %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want clause")
+	}
+	return out, nil
+}

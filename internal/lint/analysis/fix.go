@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix in findings to the given sources
+// (filename → contents) and returns the rewritten files. Suppressed
+// findings are skipped. Overlapping edits are an error — fixes are meant
+// to be mechanical, and overlap means two analyzers disagree about the
+// same text.
+func ApplyFixes(fset *token.FileSet, sources map[string][]byte, findings []Finding) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		newText    []byte
+	}
+	perFile := make(map[string][]edit)
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		for _, fix := range f.Fixes {
+			for _, te := range fix.TextEdits {
+				start := fset.Position(te.Pos)
+				end := start
+				if te.End != token.NoPos {
+					end = fset.Position(te.End)
+				}
+				if end.Filename != start.Filename {
+					return nil, fmt.Errorf("fix for %s spans files", f)
+				}
+				perFile[start.Filename] = append(perFile[start.Filename], edit{start.Offset, end.Offset, te.NewText})
+			}
+		}
+	}
+	out := make(map[string][]byte, len(perFile))
+	for name, edits := range perFile {
+		src, ok := sources[name]
+		if !ok {
+			return nil, fmt.Errorf("no source for %s", name)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return nil, fmt.Errorf("%s: overlapping suggested fixes at offsets %d and %d", name, edits[i-1].start, edits[i].start)
+			}
+		}
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) {
+				return nil, fmt.Errorf("%s: edit out of range [%d,%d)", name, e.start, e.end)
+			}
+			buf = append(buf, src[last:e.start]...)
+			buf = append(buf, e.newText...)
+			last = e.end
+		}
+		buf = append(buf, src[last:]...)
+		out[name] = buf
+	}
+	return out, nil
+}

@@ -1,0 +1,24 @@
+package allow
+
+func boom() int { return 1 }
+
+func suppressedSameLine() int {
+	return boom() //lint:allow toybomb calls boom on purpose
+}
+
+func suppressedLineAbove() int {
+	//lint:allow toybomb standalone marker above
+	return boom()
+}
+
+func unsuppressed() int {
+	return boom()
+}
+
+//lint:allow toybomb
+func malformedNoReason() int {
+	return boom()
+}
+
+//lint:allow toybomb orphan marker with nothing to suppress
+func cleanFunc() int { return 2 }

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sam/internal/lint/analysis"
+)
+
+// errPropagatePkgs are the packages whose error returns must never be
+// dropped: relation IO (schema specs, CSV round-trips) and obs trace
+// serialization (JSONL write/read, debug server startup). A swallowed
+// error there silently yields truncated databases or unusable traces.
+var errPropagatePkgs = map[string]bool{
+	relationPath: true,
+	obsPath:      true,
+}
+
+// ErrPropagate flags discarded error results from relation and obs
+// functions: a call used as a bare statement (or under go/defer) whose
+// last result is an error, and explicit assignment of that error to the
+// blank identifier.
+var ErrPropagate = &analysis.Analyzer{
+	Name: "errpropagate",
+	Doc: "forbid ignoring error returns from relation/obs IO and JSONL " +
+		"serialization (bare-statement calls and _ assignments)",
+	Run: runErrPropagate,
+}
+
+func runErrPropagate(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				reportDroppedErr(pass, n.X, "result ignored")
+			case *ast.GoStmt:
+				reportDroppedErr(pass, n.Call, "result ignored in go statement")
+			case *ast.DeferStmt:
+				reportDroppedErr(pass, n.Call, "result ignored in deferred call")
+			case *ast.AssignStmt:
+				checkBlankErr(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// watchedErrCall resolves expr to a call of a watched-package function
+// whose final result is an error.
+func watchedErrCall(pass *analysis.Pass, expr ast.Expr) *types.Func {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !errPropagatePkgs[pkgPath(fn)] {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return fn
+}
+
+func reportDroppedErr(pass *analysis.Pass, expr ast.Expr, how string) {
+	if fn := watchedErrCall(pass, expr); fn != nil {
+		pass.Reportf(expr.Pos(), "error from %s.%s %s; propagate or handle it",
+			shortPkg(fn), fn.Name(), how)
+	}
+}
+
+// checkBlankErr flags `_ = relationOrObsCall()` and multi-assignments
+// that land the error in the blank identifier.
+func checkBlankErr(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Single call on the right: the error is the last LHS position.
+	if len(as.Rhs) == 1 {
+		fn := watchedErrCall(pass, as.Rhs[0])
+		if fn == nil {
+			return
+		}
+		last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+		if ok && last.Name == "_" {
+			pass.Reportf(as.Pos(), "error from %s.%s assigned to _; propagate or handle it",
+				shortPkg(fn), fn.Name())
+		}
+		return
+	}
+	// Parallel assignment: check each RHS call against its own LHS slot.
+	for i, rhs := range as.Rhs {
+		fn := watchedErrCall(pass, rhs)
+		if fn == nil || i >= len(as.Lhs) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(), "error from %s.%s assigned to _; propagate or handle it",
+				shortPkg(fn), fn.Name())
+		}
+	}
+}
+
+// shortPkg renders the package qualifier diagnostics use.
+func shortPkg(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}

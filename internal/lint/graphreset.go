@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sam/internal/lint/analysis"
+)
+
+// GraphReset catches the PR 1 tape-leak class: a pooled *tensor.Graph
+// reused across loop iterations accumulates nodes forever unless Reset is
+// called each iteration. The marker for "this iteration builds and
+// consumes a full tape" is a Backward call: a loop body that calls
+// g.Backward on a graph declared outside the loop must also call g.Reset
+// somewhere in the same body (top of the iteration by convention, but any
+// position restores the pool for the next build).
+var GraphReset = &analysis.Analyzer{
+	Name: "graphreset",
+	Doc: "require loops that run Backward on a pooled *tensor.Graph declared outside " +
+		"the loop to Reset it every iteration (tape-leak guard)",
+	Run: runGraphReset,
+}
+
+func runGraphReset(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+			inspectShallow(body, func(n ast.Node) bool {
+				var loop ast.Node
+				loopBody := func() *ast.BlockStmt {
+					switch s := n.(type) {
+					case *ast.ForStmt:
+						loop = s
+						return s.Body
+					case *ast.RangeStmt:
+						loop = s
+						return s.Body
+					}
+					return nil
+				}()
+				if loopBody != nil {
+					checkGraphLoop(pass, loop, loopBody)
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// checkGraphLoop flags Backward calls in the loop body on outer-declared
+// graphs with no matching Reset in the same body.
+func checkGraphLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
+	type graphUse struct {
+		backward *ast.CallExpr
+		reset    bool
+	}
+	uses := map[types.Object]*graphUse{}
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := defOrUse(pass.TypesInfo, recv)
+		if obj == nil || !isNamedType(obj.Type(), tensorPath, "Graph") {
+			return true
+		}
+		if containsPos(loop, obj.Pos()) {
+			return true // per-iteration graph: fresh or visibly managed here
+		}
+		u := uses[obj]
+		if u == nil {
+			u = &graphUse{}
+			uses[obj] = u
+		}
+		switch sel.Sel.Name {
+		case "Backward":
+			if u.backward == nil {
+				u.backward = call
+			}
+		case "Reset":
+			u.reset = true
+		}
+		return true
+	})
+	for obj, u := range uses {
+		if u.backward != nil && !u.reset {
+			pass.Reportf(u.backward.Pos(),
+				"graph %s is rebuilt and consumed across loop iterations without Reset; "+
+					"call %s.Reset() each iteration or the pooled tape leaks nodes",
+				obj.Name(), obj.Name())
+		}
+	}
+}

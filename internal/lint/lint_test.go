@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"sam/internal/lint/analysis"
+	"sam/internal/lint/analysis/analysistest"
+)
+
+// One loader for the whole test binary: the source importer typechecks
+// the module's real packages once and every fixture reuses the cache.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+)
+
+func fixtureLoader() *analysis.Loader {
+	loaderOnce.Do(func() { loader = analysis.NewLoader() })
+	return loader
+}
+
+func TestDetRandFixtures(t *testing.T) {
+	diags := analysistest.Run(t, fixtureLoader(), DetRand, "testdata/src/detrand")
+
+	// The clock-seed findings must carry a mechanical fix that swaps the
+	// seed expression for a literal.
+	fixes := 0
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "time.Now()") {
+			continue
+		}
+		if len(d.SuggestedFixes) != 1 || len(d.SuggestedFixes[0].TextEdits) != 1 {
+			t.Fatalf("clock-seed finding %q: want exactly one single-edit fix, got %+v", d.Message, d.SuggestedFixes)
+		}
+		if got := string(d.SuggestedFixes[0].TextEdits[0].NewText); got != "1" {
+			t.Errorf("clock-seed fix text = %q, want \"1\"", got)
+		}
+		fixes++
+	}
+	if fixes == 0 {
+		t.Error("no clock-seed finding carried a suggested fix")
+	}
+}
+
+func TestHotAllocFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureLoader(), HotAlloc, "testdata/src/hotalloc")
+}
+
+func TestSpanEndFixtures(t *testing.T) {
+	diags := analysistest.Run(t, fixtureLoader(), SpanEnd, "testdata/src/spanend")
+
+	// The never-ended span has a mechanical fix: apply it and check the
+	// defer lands right after the start, at matching indentation.
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "never ended") {
+			continue
+		}
+		if len(d.SuggestedFixes) != 1 || len(d.SuggestedFixes[0].TextEdits) != 1 {
+			t.Fatalf("never-ended finding: want one single-edit fix, got %+v", d.SuggestedFixes)
+		}
+		pos := fixtureLoader().Fset.Position(d.SuggestedFixes[0].TextEdits[0].Pos)
+		src, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patched, err := analysis.ApplyFixes(fixtureLoader().Fset, map[string][]byte{pos.Filename: src},
+			[]analysis.Finding{{Fixes: d.SuggestedFixes}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(patched[pos.Filename]); !strings.Contains(got, "Child(\"phase\")\n\tdefer sp.End()") {
+			t.Errorf("applied fix did not insert defer right after the span start:\n%s", got)
+		}
+		return
+	}
+	t.Error("no never-ended finding reported")
+}
+
+func TestGraphResetFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureLoader(), GraphReset, "testdata/src/graphreset")
+}
+
+func TestErrPropagateFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureLoader(), ErrPropagate, "testdata/src/errpropagate")
+}
+
+func TestObsNilFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureLoader(), ObsNil, "testdata/src/obsnil")
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 5 {
+		t.Fatalf("suite has %d analyzers, want at least 5", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run func", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"detrand", "hotalloc", "spanend", "graphreset", "errpropagate"} {
+		if !seen[name] {
+			t.Errorf("suite is missing required analyzer %q", name)
+		}
+	}
+}
+
+func TestIsPipelinePackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"sam/internal/tensor":      true,
+		"sam/internal/ar":          true,
+		"sam/internal/obs":         false,
+		"sam/cmd/samlint":          false,
+		"samlint.fixture/hotalloc": false,
+	} {
+		if got := IsPipelinePackage(path); got != want {
+			t.Errorf("IsPipelinePackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

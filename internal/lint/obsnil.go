@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sam/internal/lint/analysis"
+)
+
+// ObsNil guards the nil-observer contract: a nil *obs.Hooks (or a Hooks
+// with unset callbacks) must disable a signal, never panic. Callback
+// fields are therefore invoked only through the struct's nil-safe wrapper
+// methods (h.TrainStep, h.GenPhase, ...) — calling a field like
+// h.OnTrainStep directly panics the moment an observer leaves it unset.
+// Constructing Hooks values and nil-checking fields remain fine; only
+// direct invocation is flagged. The obs package itself (which implements
+// the wrappers) is exempt.
+var ObsNil = &analysis.Analyzer{
+	Name: "obsnil",
+	Doc: "forbid invoking obs.Hooks callback fields directly; route through the " +
+		"nil-safe wrapper methods so nil observers stay free",
+	Run: runObsNil,
+}
+
+func runObsNil(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == obsPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := hooksCallbackField(pass.TypesInfo, sel)
+			if field == nil {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"calling obs.Hooks.%s directly panics when the callback is unset; "+
+					"use the nil-safe wrapper h.%s(...)",
+				field.Name(), strings.TrimPrefix(field.Name(), "On"))
+			return true
+		})
+	}
+	return nil
+}
+
+// hooksCallbackField resolves sel to an On* func-typed field of obs.Hooks,
+// or nil.
+func hooksCallbackField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || !strings.HasPrefix(field.Name(), "On") {
+		return nil
+	}
+	if !isNamedType(selection.Recv(), obsPath, "Hooks") {
+		return nil
+	}
+	return field
+}

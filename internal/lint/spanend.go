@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sam/internal/lint/analysis"
+)
+
+// SpanEnd enforces the span-lifecycle contract of the obs telemetry layer:
+// a phase span started with Child must be ended on every path out of the
+// function, or ownership must be handed off explicitly (stored, returned,
+// or passed along — escapes are not analyzed further).
+//
+// Accepted endings, in order of preference: a `defer sp.End()` (directly
+// or inside a deferred closure), or manual sp.End() calls that cover every
+// return and fall-through exit reachable while the span is live. The path
+// check is block-structural, not a full CFG: an End call covers a later
+// exit when its enclosing block is an ancestor of (or the same as) the
+// exit's block. Branch-balanced manual endings that the approximation
+// cannot see (an if/else where both arms End) need a //lint:allow marker.
+var SpanEnd = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "require obs spans started in a function to be ended on every path " +
+		"(defer sp.End() or covering manual End calls)",
+	Run: runSpanEnd,
+}
+
+// pathPoint is a position in a function with its enclosing-block chain
+// (outermost first): an End call, a return, or a block fall-through exit.
+type pathPoint struct {
+	pos   token.Pos
+	chain []ast.Node
+}
+
+// spanVar tracks one span-typed local from its Child(...) start.
+type spanVar struct {
+	obj      types.Object
+	name     string
+	start    *ast.AssignStmt
+	chain    []ast.Node // block chain at the start statement
+	ends     []pathPoint
+	deferred bool
+	escaped  bool
+}
+
+func runSpanEnd(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, ftype *ast.FuncType, body *ast.BlockStmt) {
+			checkSpanScope(pass, ftype, body)
+		})
+	}
+	return nil
+}
+
+func checkSpanScope(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	spans := map[types.Object]*spanVar{}
+	var returns []pathPoint
+
+	// Pass 1 (own scope only): span starts and return statements.
+	walkParents(body, func(n ast.Node, parents []ast.Node) {
+		if insideFuncLit(parents) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if sv := spanStart(pass.TypesInfo, n, blockChain(parents)); sv != nil {
+				spans[sv.obj] = sv
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, pathPoint{pos: n.Pos(), chain: blockChain(parents)})
+		}
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	// Pass 2 (including closures): classify every use of each span var.
+	walkParents(body, func(n ast.Node, parents []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		sv := spans[defOrUse(pass.TypesInfo, id)]
+		if sv == nil || isStartLHS(sv, id) {
+			return
+		}
+		classifySpanUse(sv, id, parents)
+	})
+
+	for _, sv := range spans {
+		verdictSpan(pass, ftype, body, sv, returns)
+	}
+}
+
+// spanStart recognizes `sp := parent.Child("name")` where the result is an
+// *obs.Span. Only := definitions are tracked; reassignment is treated as
+// an escape by the use classifier.
+func spanStart(info *types.Info, as *ast.AssignStmt, chain []ast.Node) *spanVar {
+	if as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Child" || pkgPath(fn) != obsPath {
+		return nil
+	}
+	obj := info.Defs[id]
+	if obj == nil || !isNamedType(obj.Type(), obsPath, "Span") {
+		return nil
+	}
+	return &spanVar{obj: obj, name: id.Name, start: as, chain: chain}
+}
+
+func isStartLHS(sv *spanVar, id *ast.Ident) bool {
+	return len(sv.start.Lhs) == 1 && sv.start.Lhs[0] == id
+}
+
+// classifySpanUse updates sv for one identifier occurrence: an End call
+// (deferred or positional), a benign method call, or an escape.
+func classifySpanUse(sv *spanVar, id *ast.Ident, parents []ast.Node) {
+	call, isRecv := methodCallOf(id, parents)
+	if lit := enclosingFuncLit(parents); lit != nil {
+		// Inside a closure. The one blessed shape is an End reached via
+		// `defer func() { ... sp.End() ... }()`.
+		if isRecv && methodName(call) == "End" && litIsDeferredCall(lit, parents) {
+			sv.deferred = true
+			return
+		}
+		sv.escaped = true
+		return
+	}
+	if !isRecv {
+		sv.escaped = true
+		return
+	}
+	if methodName(call) != "End" {
+		return // SetAttr, Child, ... — benign receiver uses
+	}
+	if len(parents) >= 3 {
+		if d, ok := parents[len(parents)-3].(*ast.DeferStmt); ok && d.Call == call {
+			sv.deferred = true
+			return
+		}
+	}
+	sv.ends = append(sv.ends, pathPoint{pos: call.Pos(), chain: blockChain(parents)})
+}
+
+// verdictSpan reports a span that can leak: never ended at all, or with an
+// exit path no End call covers.
+func verdictSpan(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt, sv *spanVar, returns []pathPoint) {
+	if sv.escaped || sv.deferred {
+		return
+	}
+	if len(sv.ends) == 0 {
+		pass.Report(analysis.Diagnostic{
+			Pos:            sv.start.Pos(),
+			Message:        "obs span " + sv.name + " is never ended; add defer " + sv.name + ".End() after starting it",
+			SuggestedFixes: []analysis.SuggestedFix{deferEndFix(pass, sv)},
+		})
+		return
+	}
+	exits := liveExits(ftype, body, sv, returns)
+	for _, exit := range exits {
+		if !covered(sv.ends, exit) {
+			pass.Reportf(exit.pos,
+				"obs span %s (started at line %d) is not ended on this path; End it before the exit or defer %s.End()",
+				sv.name, pass.Fset.Position(sv.start.Pos()).Line, sv.name)
+			return // one report per span keeps the signal clean
+		}
+	}
+}
+
+// liveExits collects the exits reachable while the span is live: returns
+// positioned after the start within the declaring block's subtree, plus
+// the declaring block's fall-through exit (or the function's implicit
+// return for a span declared at the top level of a void function).
+func liveExits(ftype *ast.FuncType, body *ast.BlockStmt, sv *spanVar, returns []pathPoint) []pathPoint {
+	var exits []pathPoint
+	for _, r := range returns {
+		if r.pos > sv.start.Pos() && chainIsPrefix(sv.chain, r.chain) {
+			exits = append(exits, r)
+		}
+	}
+	declBlock := body
+	if len(sv.chain) > 0 {
+		if b, ok := sv.chain[len(sv.chain)-1].(*ast.BlockStmt); ok {
+			declBlock = b
+		}
+	}
+	if declBlock != body {
+		exits = append(exits, pathPoint{pos: declBlock.End(), chain: sv.chain})
+	} else if ftype.Results == nil || len(ftype.Results.List) == 0 {
+		if n := len(body.List); n == 0 || !isTerminating(body.List[n-1]) {
+			exits = append(exits, pathPoint{pos: body.End(), chain: sv.chain})
+		}
+	}
+	return exits
+}
+
+// isTerminating reports (conservatively) whether the statement never falls
+// through: a return, or a panic call.
+func isTerminating(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// covered reports whether some End call dominates the exit in the
+// block-structural approximation: the End appears earlier and its block
+// encloses (or equals) the exit's block.
+func covered(ends []pathPoint, exit pathPoint) bool {
+	for _, e := range ends {
+		if e.pos < exit.pos && chainIsPrefix(e.chain, exit.chain) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferEndFix builds the mechanical rewrite: insert `defer sp.End()` on a
+// new line after the start statement, matching its indentation.
+func deferEndFix(pass *analysis.Pass, sv *spanVar) analysis.SuggestedFix {
+	pos := pass.Fset.Position(sv.start.Pos())
+	indent := lineIndent(pass.Sources[pos.Filename], pos)
+	return analysis.SuggestedFix{
+		Message: "defer " + sv.name + ".End() right after the span starts",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     sv.start.End(),
+			End:     sv.start.End(),
+			NewText: []byte("\n" + indent + "defer " + sv.name + ".End()"),
+		}},
+	}
+}
+
+// blockChain filters an ancestor stack down to the block-like nodes that
+// define the structural path: blocks, switch cases, and select comms.
+func blockChain(parents []ast.Node) []ast.Node {
+	var chain []ast.Node
+	for _, p := range parents {
+		switch p.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			chain = append(chain, p)
+		}
+	}
+	return chain
+}
+
+// chainIsPrefix reports whether a is a prefix of b.
+func chainIsPrefix(a, b []ast.Node) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// methodCallOf reports whether id is the receiver of a method call
+// (parents end with [..., CallExpr, SelectorExpr]) and returns the call.
+func methodCallOf(id *ast.Ident, parents []ast.Node) (*ast.CallExpr, bool) {
+	if len(parents) < 2 {
+		return nil, false
+	}
+	sel, ok := parents[len(parents)-1].(*ast.SelectorExpr)
+	if !ok || sel.X != id {
+		return nil, false
+	}
+	call, ok := parents[len(parents)-2].(*ast.CallExpr)
+	if !ok || call.Fun != sel {
+		return nil, false
+	}
+	return call, true
+}
+
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// insideFuncLit reports whether the ancestor stack crosses a function
+// literal (i.e. the node belongs to a nested closure's scope).
+func insideFuncLit(parents []ast.Node) bool {
+	return enclosingFuncLit(parents) != nil
+}
+
+// enclosingFuncLit returns the innermost function literal on the stack.
+func enclosingFuncLit(parents []ast.Node) *ast.FuncLit {
+	for i := len(parents) - 1; i >= 0; i-- {
+		if lit, ok := parents[i].(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return nil
+}
+
+// litIsDeferredCall reports whether lit appears on the stack as the
+// function of a deferred call: defer func() { ... }().
+func litIsDeferredCall(lit *ast.FuncLit, parents []ast.Node) bool {
+	for i, p := range parents {
+		if p != lit {
+			continue
+		}
+		if i < 2 {
+			return false
+		}
+		call, ok := parents[i-1].(*ast.CallExpr)
+		if !ok || call.Fun != lit {
+			return false
+		}
+		d, ok := parents[i-2].(*ast.DeferStmt)
+		return ok && d.Call == call
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// An injected, deterministically seeded generator is the sanctioned form.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Clock reads outside seed position are fine: latency measurement is not
+// a determinism hazard.
+func timed(rng *rand.Rand) time.Duration {
+	start := time.Now()
+	_ = rng.Intn(10)
+	return time.Since(start)
+}

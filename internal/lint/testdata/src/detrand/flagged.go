@@ -1,0 +1,23 @@
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Package-level math/rand functions draw from process-global state.
+func globalDraws() int {
+	n := rand.Intn(6)                  // want `global math/rand\.Intn draws from process-global RNG state`
+	f := rand.Float64()                // want `global math/rand\.Float64`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	return n + int(f)
+}
+
+// Clock-derived seeds break run-to-run determinism.
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seed derived from time\.Now\(\)`
+}
+
+func reseeded(rng *rand.Rand) {
+	rng.Seed(time.Now().Unix()) // want `RNG seed derived from time\.Now\(\)`
+}

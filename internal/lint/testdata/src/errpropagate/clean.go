@@ -1,0 +1,28 @@
+package errpropagate
+
+import (
+	"fmt"
+	"io"
+
+	"sam/internal/obs"
+	"sam/internal/relation"
+)
+
+// Checked, returned, and wrapped errors all count as handled.
+func propagate(t *relation.Table, tr *obs.Trace, w io.Writer, r io.Reader) error {
+	if err := t.WriteCSV(w); err != nil {
+		return fmt.Errorf("write csv: %w", err)
+	}
+	spec, err := relation.ReadSpec(r)
+	if err != nil {
+		return err
+	}
+	_ = spec
+	return tr.WriteJSONL(w)
+}
+
+// Only relation/obs calls are watched; other dropped results are out of
+// scope for this analyzer.
+func unwatched() {
+	fmt.Println("fine")
+}

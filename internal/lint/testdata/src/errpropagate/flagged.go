@@ -1,0 +1,18 @@
+package errpropagate
+
+import (
+	"io"
+
+	"sam/internal/obs"
+	"sam/internal/relation"
+)
+
+// Errors from relation/obs IO must never be dropped.
+func dropAll(t *relation.Table, tr *obs.Trace, w io.Writer, r io.Reader) {
+	t.WriteCSV(w)                   // want `error from relation\.WriteCSV result ignored`
+	_ = tr.WriteJSONL(w)            // want `error from obs\.WriteJSONL assigned to _`
+	defer t.WriteCSV(w)             // want `error from relation\.WriteCSV result ignored in deferred call`
+	go tr.WriteJSONL(w)             // want `error from obs\.WriteJSONL result ignored in go statement`
+	spec, _ := relation.ReadSpec(r) // want `error from relation\.ReadSpec assigned to _`
+	_ = spec
+}

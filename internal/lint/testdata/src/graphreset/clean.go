@@ -1,0 +1,33 @@
+package graphreset
+
+import "sam/internal/tensor"
+
+// Reset at the top of each iteration restores the pool before rebuild.
+func resetEachIter(params *tensor.Tensor, steps int) {
+	g := tensor.NewGraph()
+	for i := 0; i < steps; i++ {
+		g.Reset()
+		w := g.Param(params)
+		loss := g.MulElem(w, w)
+		g.Backward(loss)
+	}
+}
+
+// A graph created inside the loop is fresh every iteration.
+func freshPerIter(params *tensor.Tensor, steps int) {
+	for i := 0; i < steps; i++ {
+		g := tensor.NewGraph()
+		w := g.Param(params)
+		g.Backward(g.MulElem(w, w))
+	}
+}
+
+// Forward-only accumulation loops build one tape on purpose; only
+// Backward marks an iteration as consuming the tape.
+func forwardOnly(g *tensor.Graph, params *tensor.Tensor, steps int) *tensor.Node {
+	var last *tensor.Node
+	for i := 0; i < steps; i++ {
+		last = g.MulElem(g.Param(params), g.Param(params))
+	}
+	return last
+}

@@ -1,0 +1,22 @@
+package graphreset
+
+import "sam/internal/tensor"
+
+// A pooled graph consumed by Backward every iteration leaks tape nodes
+// unless Reset runs each iteration.
+func trainLoop(params *tensor.Tensor, steps int) {
+	g := tensor.NewGraph()
+	for i := 0; i < steps; i++ {
+		w := g.Param(params)
+		loss := g.MulElem(w, w)
+		g.Backward(loss) // want `graph g is rebuilt and consumed across loop iterations without Reset`
+	}
+}
+
+// Range loops are hot loops too.
+func trainRange(g *tensor.Graph, batches []*tensor.Tensor) {
+	for _, b := range batches {
+		w := g.Param(b)
+		g.Backward(g.MulElem(w, w)) // want `graph g is rebuilt and consumed across loop iterations without Reset`
+	}
+}

@@ -1,0 +1,57 @@
+package hotalloc
+
+import "sam/internal/tensor"
+
+// Constructors are cold: building persistent state allocates by design,
+// and closures defined inside them inherit the exemption.
+func NewModel(n int) []*tensor.Tensor {
+	view := func(rows int) *tensor.Tensor {
+		var last *tensor.Tensor
+		for r := 1; r <= rows; r++ {
+			last = tensor.New(r, 4)
+		}
+		return last
+	}
+	views := make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		views = append(views, view(i+1))
+	}
+	return views
+}
+
+// The Into form writes into a caller-owned destination: zero allocations
+// per iteration.
+func warmStep(dst, a, b *tensor.Tensor, n int) {
+	for i := 0; i < n; i++ {
+		tensor.MatMulInto(dst, a, b)
+	}
+}
+
+// Reslicing an existing buffer reuses its capacity (the in-place filter
+// idiom), so the append is not a per-iteration allocation.
+func filtered(buf []float64, rows [][]float64) int {
+	total := 0
+	for _, r := range rows {
+		keep := buf[:0]
+		for _, v := range r {
+			if v > 0 {
+				keep = append(keep, v)
+			}
+		}
+		total += len(keep)
+	}
+	return total
+}
+
+// A sized make pre-allocates deliberately; its appends never regrow.
+func sized(rows [][]float64) int {
+	total := 0
+	for _, r := range rows {
+		out := make([]float64, 0, len(r))
+		for _, v := range r {
+			out = append(out, v*2)
+		}
+		total += len(out)
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+package hotalloc
+
+import "sam/internal/tensor"
+
+// Warm loops must not allocate fresh tensors or call allocating ops with
+// ...Into siblings.
+func hotLoop(a, b *tensor.Tensor, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		t := tensor.New(4, 4)                   // want `tensor\.New allocates inside a loop`
+		v := tensor.FromSlice(1, 4, a.Data[:4]) // want `tensor\.FromSlice allocates inside a loop`
+		c := a.Clone()                          // want `Clone allocates inside a loop`
+		p := tensor.MatMul(a, b)                // want `MatMul allocates its result inside a loop; use MatMulInto`
+		sum += t.Data[0] + v.Data[0] + c.Data[0] + p.Data[0]
+	}
+	return sum
+}
+
+// A temporary declared in a loop body regrows from nil every iteration.
+func growingTemp(rows [][]float64) int {
+	total := 0
+	for _, r := range rows {
+		var hot []float64
+		for _, v := range r {
+			if v > 0 {
+				hot = append(hot, v) // want `append grows hot, a temporary declared in a loop body`
+			}
+		}
+		total += len(hot)
+	}
+	return total
+}

@@ -1,0 +1,21 @@
+package obsnil
+
+import "sam/internal/obs"
+
+// The wrapper methods are nil-safe on both the receiver and the field.
+func fireSafe(h *obs.Hooks, s obs.TrainStep) {
+	h.TrainStep(s)
+	if h.WantsTrainStep() {
+		h.TrainStep(s)
+	}
+}
+
+// Constructing Hooks values and nil-checking fields is fine; only direct
+// invocation is a hazard.
+func construct(fn func(obs.TrainStep)) *obs.Hooks {
+	h := &obs.Hooks{OnTrainStep: fn}
+	if h.OnTrainStep != nil {
+		return h
+	}
+	return nil
+}

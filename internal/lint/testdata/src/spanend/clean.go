@@ -1,0 +1,53 @@
+package spanend
+
+import "sam/internal/obs"
+
+// defer sp.End() covers every path by construction.
+func deferred(root *obs.Span) {
+	sp := root.Child("phase")
+	defer sp.End()
+	sp.SetAttr("k", 1)
+}
+
+// End inside a deferred closure also counts.
+func deferredClosure(root *obs.Span) {
+	sp := root.Child("phase")
+	defer func() {
+		sp.End()
+	}()
+	sp.SetAttr("k", 1)
+}
+
+// Manual ends are fine when every exit is covered.
+func manualBothPaths(root *obs.Span, fail bool) error {
+	sp := root.Child("phase")
+	if fail {
+		sp.End()
+		return errEarly
+	}
+	sp.End()
+	return nil
+}
+
+// An early End before the early return covers the later exits too.
+func endBeforeReturns(root *obs.Span, fail bool) error {
+	sp := root.Child("phase")
+	sp.SetAttr("k", 1)
+	sp.End()
+	if fail {
+		return errEarly
+	}
+	return nil
+}
+
+// Returning the span hands ownership to the caller: an explicit escape.
+func handoff(root *obs.Span) *obs.Span {
+	sp := root.Child("phase")
+	return sp
+}
+
+// Storing the span passes ownership too.
+func stored(root *obs.Span, sink *struct{ Sp *obs.Span }) {
+	sp := root.Child("phase")
+	sink.Sp = sp
+}

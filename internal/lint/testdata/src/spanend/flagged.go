@@ -1,0 +1,33 @@
+package spanend
+
+import (
+	"errors"
+
+	"sam/internal/obs"
+)
+
+var errEarly = errors.New("early")
+
+// A span that is started and never ended leaks an open phase.
+func neverEnded(root *obs.Span) {
+	sp := root.Child("phase") // want `obs span sp is never ended; add defer sp\.End\(\)`
+	sp.SetAttr("k", 1)
+}
+
+// Manual ends must cover every exit; the early return escapes this one.
+func missingPath(root *obs.Span, fail bool) error {
+	sp := root.Child("phase")
+	if fail {
+		return errEarly // want `obs span sp \(started at line \d+\) is not ended on this path`
+	}
+	sp.End()
+	return nil
+}
+
+// In a void function the implicit return is an exit too.
+func fallThrough(root *obs.Span, n int) {
+	sp := root.Child("phase")
+	if n > 0 {
+		sp.End()
+	}
+} // want `obs span sp \(started at line \d+\) is not ended on this path`

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// TestNilSafeEntryPoints pins the nil-observer contract: every exported
+// obs entry point must be callable on a nil receiver (or with a nil
+// registry/hooks argument) without panicking, and must behave as "signal
+// disabled". samlint's obsnil analyzer leans on this guarantee.
+func TestNilSafeEntryPoints(t *testing.T) {
+	var (
+		nilSpan  *Span
+		nilTrace *Trace
+		nilHooks *Hooks
+		nilReg   *Registry
+	)
+
+	tests := []struct {
+		name string
+		call func(t *testing.T)
+	}{
+		{"Span.Child", func(t *testing.T) {
+			if got := nilSpan.Child("x"); got != nil {
+				t.Fatalf("nil span Child = %v, want nil", got)
+			}
+		}},
+		{"Span.SetAttr", func(t *testing.T) { nilSpan.SetAttr("k", 1) }},
+		{"Span.End", func(t *testing.T) { nilSpan.End() }},
+
+		{"Trace.Root", func(t *testing.T) {
+			if got := nilTrace.Root(); got != nil {
+				t.Fatalf("nil trace Root = %v, want nil", got)
+			}
+		}},
+		{"Trace.WriteJSONL", func(t *testing.T) {
+			if err := nilTrace.WriteJSONL(io.Discard); err != nil {
+				t.Fatalf("nil trace WriteJSONL = %v, want nil", err)
+			}
+		}},
+		{"Trace.Summary", func(t *testing.T) {
+			if got := nilTrace.Summary(); got != "" {
+				t.Fatalf("nil trace Summary = %q, want empty", got)
+			}
+		}},
+
+		{"Hooks.WantsTrainStep", func(t *testing.T) {
+			if nilHooks.WantsTrainStep() {
+				t.Fatal("nil hooks WantsTrainStep = true")
+			}
+		}},
+		{"Hooks.WantsTrainEpoch", func(t *testing.T) {
+			if nilHooks.WantsTrainEpoch() {
+				t.Fatal("nil hooks WantsTrainEpoch = true")
+			}
+		}},
+		{"Hooks.TrainStep", func(t *testing.T) { nilHooks.TrainStep(TrainStep{}) }},
+		{"Hooks.TrainEpoch", func(t *testing.T) { nilHooks.TrainEpoch(TrainEpoch{}) }},
+		{"Hooks.GenPhase", func(t *testing.T) { nilHooks.GenPhase(GenPhase{}) }},
+		{"Hooks.EvalQuery", func(t *testing.T) { nilHooks.EvalQuery(EvalQuery{}) }},
+		{"Merge", func(t *testing.T) {
+			// All-nil inputs merge to a hooks value that is itself safe.
+			Merge(nilHooks, nil).TrainStep(TrainStep{})
+		}},
+
+		{"Registry.Counter", func(t *testing.T) {
+			c := nilReg.Counter("x")
+			if c == nil {
+				t.Fatal("nil registry Counter = nil")
+			}
+			c.Inc() // detached but functional
+		}},
+		{"Registry.Gauge", func(t *testing.T) {
+			g := nilReg.Gauge("x")
+			if g == nil {
+				t.Fatal("nil registry Gauge = nil")
+			}
+			g.Set(1.5)
+		}},
+		{"Registry.Histogram", func(t *testing.T) {
+			h := nilReg.Histogram("x", []float64{1, 2})
+			if h == nil {
+				t.Fatal("nil registry Histogram = nil")
+			}
+			h.Observe(0.5)
+		}},
+		{"Registry.Snapshot", func(t *testing.T) {
+			s := nilReg.Snapshot()
+			if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+				t.Fatalf("nil registry Snapshot not empty: %+v", s)
+			}
+		}},
+		{"Registry.MarshalJSON", func(t *testing.T) {
+			buf, err := nilReg.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(buf) != "{}" {
+				t.Fatalf("nil registry MarshalJSON = %s, want {}", buf)
+			}
+		}},
+		{"Meta.SetAttrs", func(t *testing.T) { BuildMeta().SetAttrs(nilSpan) }},
+		{"PublishExpvar", func(t *testing.T) { PublishExpvar(nilReg) }},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("nil-receiver call panicked: %v", r)
+				}
+			}()
+			tc.call(t)
+		})
+	}
+}
+
+// TestZeroValueRegistryUsable pins the lazily-allocated-maps behavior: a
+// zero-value Registry (not built with NewRegistry) registers and serves
+// metrics normally.
+func TestZeroValueRegistryUsable(t *testing.T) {
+	var r Registry
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(2.5)
+	r.Histogram("c", []float64{1, 10}).Observe(4)
+
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 {
+		t.Errorf("counter a = %d, want 3", s.Counters["a"])
+	}
+	if s.Gauges["b"] != 2.5 {
+		t.Errorf("gauge b = %v, want 2.5", s.Gauges["b"])
+	}
+	if s.Histograms["c"].Count != 1 {
+		t.Errorf("histogram c count = %d, want 1", s.Histograms["c"].Count)
+	}
+
+	// Get-or-create returns the same instance on repeat lookups.
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("repeat Counter lookups returned different instances")
+	}
+}

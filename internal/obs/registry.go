@@ -210,6 +210,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // Registry is a concurrent, get-or-create collection of named metrics.
+// Like the rest of the obs layer it follows the nil-observer contract: on
+// a nil *Registry the getters return detached metrics (recorded values go
+// nowhere), Snapshot is empty, and nothing panics — so instrumented code
+// needs no metrics-enabled branch. The zero value is also usable; maps
+// are allocated on first registration.
 type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
@@ -231,8 +236,12 @@ var defaultRegistry = NewRegistry()
 // Default returns the process-wide registry (the one -debug-addr exports).
 func Default() *Registry { return defaultRegistry }
 
-// Counter returns the named counter, creating it on first use.
+// Counter returns the named counter, creating it on first use. On a nil
+// registry it returns a detached counter.
 func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
 	r.mu.RLock()
 	c := r.counters[name]
 	r.mu.RUnlock()
@@ -243,13 +252,20 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	if c = r.counters[name]; c == nil {
 		c = &Counter{}
+		if r.counters == nil {
+			r.counters = make(map[string]*Counter)
+		}
 		r.counters[name] = c
 	}
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. On a nil
+// registry it returns a detached gauge.
 func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
 	r.mu.RLock()
 	g := r.gauges[name]
 	r.mu.RUnlock()
@@ -260,6 +276,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	if g = r.gauges[name]; g == nil {
 		g = &Gauge{}
+		if r.gauges == nil {
+			r.gauges = make(map[string]*Gauge)
+		}
 		r.gauges[name] = g
 	}
 	return g
@@ -267,7 +286,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given bounds
 // on first use (later callers get the existing one regardless of bounds).
+// On a nil registry it returns a detached histogram.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
 	r.mu.RLock()
 	h := r.histograms[name]
 	r.mu.RUnlock()
@@ -278,6 +301,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	if h = r.histograms[name]; h == nil {
 		h = NewHistogram(bounds)
+		if r.histograms == nil {
+			r.histograms = make(map[string]*Histogram)
+		}
 		r.histograms[name] = h
 	}
 	return h
@@ -290,8 +316,12 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot captures every metric's current value.
+// Snapshot captures every metric's current value. A nil registry
+// snapshots as empty.
 func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{

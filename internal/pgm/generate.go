@@ -227,7 +227,8 @@ func (p *PGM) Generate(seed int64) (*relation.Schema, error) {
 		}
 		vs := sampler(vm)
 		// Index parent rows by their view-attr bins.
-		var parentAttrs, childAttrs []int
+		parentAttrs := make([]int, 0, len(vm.Attrs))
+		childAttrs := make([]int, 0, len(vm.Attrs))
 		for ai := range vm.Attrs {
 			switch vm.Attrs[ai].Table {
 			case t.Parent:

@@ -72,6 +72,7 @@ func chordalize(g *graph) (*graph, []int) {
 		alive[i] = true
 	}
 	order := make([]int, 0, g.n)
+	var nbrs []int
 	for len(order) < g.n {
 		best, bestFill := -1, 1<<30
 		for v := 0; v < g.n; v++ {
@@ -84,7 +85,7 @@ func chordalize(g *graph) (*graph, []int) {
 			}
 		}
 		// Connect best's alive neighbours pairwise (fill edges).
-		var nbrs []int
+		nbrs = nbrs[:0]
 		for u := range work.adj[best] {
 			if alive[u] {
 				nbrs = append(nbrs, u)
@@ -112,7 +113,8 @@ func maximalCliques(chordal *graph, order []int) [][]int {
 	}
 	var cliques [][]int
 	for i, v := range order {
-		c := []int{v}
+		c := make([]int, 0, 1+len(chordal.adj[v]))
+		c = append(c, v)
 		for u := range chordal.adj[v] {
 			if pos[u] > i {
 				c = append(c, u)

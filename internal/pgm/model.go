@@ -92,8 +92,9 @@ func buildViewModel(s *relation.Schema, tables []string, queries []workload.Card
 
 	// Markov network: co-filtered attributes are connected.
 	g := newGraph(len(vm.Attrs))
+	var idxs []int
 	for qi := range queries {
-		var idxs []int
+		idxs = idxs[:0]
 		seen := map[int]bool{}
 		for _, p := range queries[qi].Preds {
 			idx := vm.attrIdx[p.Table+"."+p.Column]

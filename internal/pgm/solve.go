@@ -34,9 +34,10 @@ func (vm *ViewModel) solve(queries []workload.CardQuery, cfg Config) error {
 	var system []eq
 
 	// Cardinality constraints.
+	var idxs []int
 	for qi := range queries {
 		q := &queries[qi]
-		var idxs []int
+		idxs = idxs[:0]
 		masks := make(map[int][]float64)
 		satisfiable := true
 		byAttr := make(map[int][]workload.Predicate)

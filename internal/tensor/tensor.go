@@ -185,6 +185,16 @@ func looksSparse(data []float64) bool {
 	return nz*4 < seen
 }
 
+// MatMul computes and returns a·b in a freshly allocated tensor. It is
+// the convenience form for cold paths (setup, tests, one-shot math);
+// warm loops use MatMulInto with a caller-owned destination — samlint's
+// hotalloc analyzer enforces exactly that split.
+func MatMul(a, b *Tensor) *Tensor {
+	dst := New(a.Rows, b.Cols)
+	MatMulInto(dst, a, b)
+	return dst
+}
+
 // MatMulInto computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
 // both operands.
 func MatMulInto(dst, a, b *Tensor) {

@@ -45,6 +45,22 @@ func TestMatMulInto(t *testing.T) {
 	}
 }
 
+func TestMatMulAllocatingFormMatchesInto(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	if got.Rows != 2 || got.Cols != 2 {
+		t.Fatalf("MatMul shape = %d×%d want 2×2", got.Rows, got.Cols)
+	}
+	dst := New(2, 2)
+	MatMulInto(dst, a, b)
+	for i := range dst.Data {
+		if got.Data[i] != dst.Data[i] {
+			t.Fatalf("MatMul[%d] = %v want %v", i, got.Data[i], dst.Data[i])
+		}
+	}
+}
+
 func TestMatMulTransposeVariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	a := New(4, 3)
