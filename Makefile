@@ -46,9 +46,10 @@ vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 bench-gate:
-	$(GO) run ./cmd/sambench -tensorbench /tmp/bench_current.json
+	$(GO) build -o /tmp/sambench_gate ./cmd/sambench
+	/tmp/sambench_gate -tensorbench /tmp/bench_current.json
 	$(GO) run ./cmd/benchgate \
 		-baseline BENCH_tensor.json \
 		-current /tmp/bench_current.json \
 		-tol 1.0 \
-		-min sample_batched=3
+		-min sample_batched=6,sample_batched_workers=4

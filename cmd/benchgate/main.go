@@ -4,13 +4,15 @@
 // pass/fail gate:
 //
 //	benchgate -baseline BENCH_tensor.json -current /tmp/bench.json \
-//	          -tol 0.25 -min sample_batched=3
+//	          -tol 0.25 -min sample_batched=6,sample_batched_workers=4
 //
 // -tol bounds the allowed ns/op regression per benchmark (0.25 = +25%);
 // allocation growth always fails. -min names speedup-ratio floors, e.g.
-// sample_batched=3 requires batched ancestral sampling to stay at least 3×
+// sample_batched=6 requires batched ancestral sampling to stay at least 6×
 // the per-tuple sampler measured in the same run — a machine-independent
-// ratio, unlike raw ns/op.
+// ratio, unlike raw ns/op — and sample_batched_workers=4 gates the
+// worker×lane composition, whose ratio sits below the single-worker one on
+// single-core hosts (scheduling overhead, no scaling win).
 package main
 
 import (

@@ -8,17 +8,16 @@ import (
 )
 
 // BatchSampler runs ancestral sampling over up to B lanes at once: each
-// column step is one batched forward pass (a (B×H) GEMM per layer) plus a
-// batched softmax and B categorical draws, instead of B independent
-// batch-1 forwards. It implements join.BatchTupleSampler, emitting model
-// bin codes; like Sampler it is not safe for concurrent use — create one
-// per goroutine.
+// column step is one batched forward pass (a (B×H) GEMM per layer) plus B
+// fused exp-and-draw walks, instead of B independent batch-1 forwards. The
+// draw is fused into the logits pass: tensor.ExpRowMass exponentiates each
+// lane's logit row in place and hands its total mass straight to the CDF
+// walk, so no normalized-probability matrix is ever materialized. It
+// implements join.BatchTupleSampler, emitting model bin codes; like Sampler
+// it is not safe for concurrent use — create one per goroutine.
 type BatchSampler struct {
 	m   *Model
 	buf nn.BatchInference
-	// probsV[i] is a B×Bins(i) view over one shared buffer; SoftmaxRowsInto
-	// fills it from the column's logit block each step.
-	probsV []*tensor.Tensor
 	// probs0 is column 0's distribution, softmaxed once at construction:
 	// the first conditional has no parents, so its logits are a constant of
 	// the weights and every sweep skips that forward pass entirely.
@@ -38,21 +37,11 @@ func (m *Model) NewBatchSampler(batch int) *BatchSampler {
 	if batch < 1 {
 		panic("ar: batch sampler needs at least one lane")
 	}
-	maxBins := 0
-	for _, d := range m.Disc {
-		if d.Bins() > maxBins {
-			maxBins = d.Bins()
-		}
-	}
 	s := &BatchSampler{
 		m:       m,
 		buf:     m.Net.NewBatchInference(batch),
 		sel:     make([]float64, batch),
 		touched: make([]int, 0, batch*m.Layout.NumCols()),
-	}
-	probsBuf := make([]float64, batch*maxBins)
-	for _, d := range m.Disc {
-		s.probsV = append(s.probsV, tensor.FromSlice(batch, d.Bins(), probsBuf[:batch*d.Bins()]))
 	}
 	// Snapshot column 0's (parent-free, hence constant) distribution. The
 	// sampler assumes the weights stay fixed for its lifetime, which the
@@ -78,6 +67,13 @@ func (s *BatchSampler) SampleFOJ(rng *rand.Rand, dst []int32) {
 // output depends on its own stream alone and the caller controls
 // determinism by seeding the streams. dst holds len(rngs)·NumCols codes,
 // lane-major.
+//
+// Column steps ascend, so the per-step InvalidateFrom(offsets[i]) — issued
+// after column i's logits are materialized but before its one-hots are set
+// — leaves the backbone's prefix activation cache intact: only activations
+// depending on column i are dropped, which are exactly the ones the next
+// step computes fresh. The one-hots themselves go through SetInput, so the
+// backbone's sparse input bookkeeping never rescans X.
 func (s *BatchSampler) SampleFOJBatch(rngs []*rand.Rand, dst []int32) {
 	m := s.m
 	ncols := m.Layout.NumCols()
@@ -92,46 +88,54 @@ func (s *BatchSampler) SampleFOJBatch(rngs []*rand.Rand, dst []int32) {
 	s.resetX(x)
 	offsets := m.Net.Offsets()
 	for i := 0; i < ncols; i++ {
-		var probs *tensor.Tensor
+		var logits *tensor.Tensor
 		if i > 0 {
-			probs = s.probsV[i]
-			// Unnormalized is enough: sampleCategorical accumulates its
-			// own total mass.
-			tensor.ExpRowsInto(probs, s.buf.ForwardCol(i))
+			logits = s.buf.ForwardCol(i)
 		}
+		s.buf.InvalidateFrom(offsets[i])
 		for l := 0; l < lanes; l++ {
-			prow := s.probs0
-			if i > 0 {
-				prow = probs.Row(l)
+			var bin int
+			if i == 0 {
+				bin = sampleCategorical(rngs[l], s.probs0, nil)
+			} else {
+				// Exponentiate the logit row in place (it is forward-pass
+				// scratch) and draw straight from the unnormalized masses.
+				row := logits.Row(l)
+				bin = drawFromMass(rngs[l], row, nil, tensor.ExpRowMass(row, row))
 			}
-			bin := sampleCategorical(rngs[l], prow, nil)
 			dst[l*ncols+i] = int32(bin)
 			s.setX(x, l, offsets[i]+bin)
 		}
 	}
 }
 
-// resetX clears exactly the one-hots the previous sweep set.
+// resetX clears exactly the one-hots the previous sweep set and drops the
+// backbone's activation cache: a new sweep changes column 0, on which
+// everything depends.
 func (s *BatchSampler) resetX(x *tensor.Tensor) {
 	for _, idx := range s.touched {
 		x.Data[idx] = 0
 	}
 	s.touched = s.touched[:0]
+	s.buf.InvalidateFrom(0)
 }
 
-// setX sets x[lane][idx] and records it for the next reset.
+// setX sets x[lane][idx] through the backbone's SetInput notification and
+// records the flat position for the next reset.
 func (s *BatchSampler) setX(x *tensor.Tensor, lane, idx int) {
-	flat := lane*x.Cols + idx
-	x.Data[flat] = 1
-	s.touched = append(s.touched, flat)
+	s.buf.SetInput(lane, idx)
+	s.touched = append(s.touched, lane*x.Cols+idx)
 }
 
 // EstimateSpec is the batched progressive-sampling estimator: Monte-Carlo
 // chains advance in sweeps of up to B lanes, sharing each column step's
-// forward pass. All chains draw from the single rng in lane order, so the
-// estimate is deterministic for a fixed (rng state, batch) pair; it is a
-// different (equally valid) Monte-Carlo draw than the per-tuple
-// estimator's for the same seed.
+// forward pass. It rides the same fused logits path as SampleFOJBatch —
+// the masked mass that updates a chain's selectivity (p = Σ exp·mask /
+// Σ exp) is the same accumulation the CDF draw consumes, so estimation and
+// sampling exercise one code path. All chains draw from the single rng in
+// lane order, so the estimate is deterministic for a fixed (rng state,
+// batch) pair; it is a different (equally valid) Monte-Carlo draw than the
+// per-tuple estimator's for the same seed.
 func (s *BatchSampler) EstimateSpec(rng *rand.Rand, spec *Spec, samples int) float64 {
 	m := s.m
 	if samples <= 0 {
@@ -158,31 +162,48 @@ func (s *BatchSampler) EstimateSpec(rng *rand.Rand, spec *Spec, samples int) flo
 			sel[l] = 1
 		}
 		for i := 0; i <= lastNeeded; i++ {
-			var probs *tensor.Tensor
+			var logits *tensor.Tensor
 			if i > 0 {
-				probs = s.probsV[i]
-				tensor.SoftmaxRowsInto(probs, s.buf.ForwardCol(i))
+				logits = s.buf.ForwardCol(i)
 			}
+			s.buf.InvalidateFrom(offsets[i])
 			mask := spec.Masks[i]
 			for l := 0; l < lanes; l++ {
 				if sel[l] == 0 {
 					continue // dead chain: mask mass hit zero earlier
 				}
-				prow := s.probs0
-				if i > 0 {
-					prow = probs.Row(l)
-				}
-				if mask != nil {
-					var p float64
-					for b, pv := range prow {
-						p += pv * mask[b]
+				var bin int
+				if i == 0 {
+					// Column 0 keeps the exact normalized snapshot, so
+					// parent-free estimates stay exact expectations.
+					if mask != nil {
+						var p float64
+						for b, pv := range s.probs0 {
+							p += pv * mask[b]
+						}
+						sel[l] *= p
+						if sel[l] == 0 {
+							continue
+						}
 					}
-					sel[l] *= p
-					if sel[l] == 0 {
-						continue
+					bin = sampleCategorical(rng, s.probs0, mask)
+				} else {
+					row := logits.Row(l)
+					mass := tensor.ExpRowMass(row, row)
+					if mask != nil {
+						var mm float64
+						for b, pv := range row {
+							mm += pv * mask[b]
+						}
+						sel[l] *= mm / mass
+						if sel[l] == 0 {
+							continue
+						}
+						bin = drawFromMass(rng, row, mask, mm)
+					} else {
+						bin = drawFromMass(rng, row, nil, mass)
 					}
 				}
-				bin := sampleCategorical(rng, prow, mask)
 				if spec.Downweight[i] {
 					sel[l] /= m.Layout.Cols[i].WeightVals[bin]
 				}

@@ -85,6 +85,58 @@ func TestSampleFOJBatchMatchesUnbatchedMarginals(t *testing.T) {
 	}
 }
 
+// TestBatchSamplerWarmColdLanePermutation is the adversarial check on the
+// prefix-cache wiring: a sampler whose activation cache and sparse-input
+// bookkeeping have been churned by unrelated sweeps must draw exactly what
+// a cold sampler draws, and a lane's output must be a function of its rng
+// stream alone — independent of which lane index the stream lands on. The
+// cold sweep runs streams in natural order; the warm sweep runs the same
+// streams under a permutation, so any cross-lane leakage through the
+// shared nonzero bookkeeping or stale cached activations breaks
+// bit-equality.
+func TestBatchSamplerWarmColdLanePermutation(t *testing.T) {
+	for _, arch := range []string{"made", "transformer"} {
+		t.Run(arch, func(t *testing.T) {
+			m := batchTestModel(t, arch)
+			ncols := m.Layout.NumCols()
+			const lanes = 6
+			seed := func(l int) int64 { return 400 + int64(l)*17 }
+
+			cold := m.NewBatchSampler(lanes)
+			rngs := make([]*rand.Rand, lanes)
+			for l := range rngs {
+				rngs[l] = rand.New(rand.NewSource(seed(l)))
+			}
+			ref := make([]int32, lanes*ncols)
+			cold.SampleFOJBatch(rngs, ref)
+
+			warm := m.NewBatchSampler(lanes)
+			churn := make([]int32, lanes*ncols)
+			for sweep := 0; sweep < 3; sweep++ {
+				for l := range rngs {
+					rngs[l] = rand.New(rand.NewSource(9000 + int64(sweep*lanes+l)))
+				}
+				warm.SampleFOJBatch(rngs, churn)
+			}
+
+			perm := []int{4, 2, 5, 0, 3, 1}
+			for l, p := range perm {
+				rngs[l] = rand.New(rand.NewSource(seed(p)))
+			}
+			got := make([]int32, lanes*ncols)
+			warm.SampleFOJBatch(rngs, got)
+			for l, p := range perm {
+				for i := 0; i < ncols; i++ {
+					if got[l*ncols+i] != ref[p*ncols+i] {
+						t.Fatalf("lane %d (stream %d) col %d: warm-permuted %d vs cold %d",
+							l, p, i, got[l*ncols+i], ref[p*ncols+i])
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestBatchSamplerSingleLaneAdapter checks the TupleSampler adapter draws
 // through exactly one lane and produces codes in range.
 func TestBatchSamplerSingleLaneAdapter(t *testing.T) {

@@ -297,7 +297,17 @@ func sampleCategorical(rng *rand.Rand, probs, mask []float64) int {
 		}
 		sum += p
 	}
-	if sum <= 0 {
+	return drawFromMass(rng, probs, mask, sum)
+}
+
+// drawFromMass is sampleCategorical's CDF walk with the total mass supplied
+// by the caller. The batched sampler fuses the accumulation into the
+// softmax-exp pass (tensor.ExpRowMass) and the batched estimator into its
+// selectivity update, so neither re-sums the row just to draw from it. mass
+// must equal the in-order sum of probs×mask for the draw to be bit-identical
+// to sampleCategorical's.
+func drawFromMass(rng *rand.Rand, probs, mask []float64, mass float64) int {
+	if mass <= 0 {
 		// Degenerate: uniform over positive-mask bins, else uniform.
 		if mask != nil {
 			var cands []int
@@ -312,7 +322,7 @@ func sampleCategorical(rng *rand.Rand, probs, mask []float64) int {
 		}
 		return rng.Intn(len(probs))
 	}
-	u := rng.Float64() * sum
+	u := rng.Float64() * mass
 	var acc float64
 	best := len(probs) - 1
 	for b, p := range probs {

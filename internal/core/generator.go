@@ -22,6 +22,7 @@ import (
 	"sam/internal/join"
 	"sam/internal/obs"
 	"sam/internal/relation"
+	"sam/internal/tensor"
 )
 
 // GenOptions controls the generation pass.
@@ -111,8 +112,25 @@ func (g *Generator) Generate(newSampler func() join.TupleSampler, opts GenOption
 	return g.Materialize(samples, opts)
 }
 
+// DrawSamples runs the sampling phase on its own: k sanitized FOJ samples,
+// flattened lane-major (k × NumCols bin codes), without materializing
+// tables. Generate composes it with Materialize; benchmarks and diagnostic
+// tools call it directly to measure or inspect the sampler under the real
+// worker×lane scheduling.
+func (g *Generator) DrawSamples(newSampler func() join.TupleSampler, k int, opts GenOptions) []int32 {
+	return g.drawSamples(newSampler, k, opts)
+}
+
 // drawSamples draws k FOJ tuples in parallel and sanitizes presence
 // consistency.
+//
+// The output is a pure function of (Seed, Workers, Batch): logical worker w
+// covers a fixed tuple range and lane l of worker w always consumes rng
+// stream Seed + (w·Batch+l)·7919, with both Workers and Batch resolved
+// deterministically from the options (Workers 0 → GOMAXPROCS at entry).
+// Physical goroutines are provisioned separately from the shared kernel
+// token budget and only affect wall-clock, so a run reproduces bit-for-bit
+// however loaded the machine is.
 func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts GenOptions) []int32 {
 	span := opts.Span.Child("sample")
 	defer span.End()
@@ -126,6 +144,9 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 	if workers > k {
 		workers = k
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	batch := opts.Batch
 	if batch < 1 {
 		batch = 1
@@ -133,9 +154,10 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 	span.SetAttr("tuples", k)
 	span.SetAttr("workers", workers)
 	span.SetAttr("batch", batch)
-	var usedBatchKernel atomic.Bool
-	var wg sync.WaitGroup
+
 	chunk := (k + workers - 1) / workers
+	type task struct{ w, lo, hi int }
+	tasks := make([]task, 0, workers)
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > k {
@@ -144,19 +166,50 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			// One rng stream per lane: lane l of worker w always sees the
-			// same stream regardless of how tuples land in sweeps, and with
-			// batch 1 this reduces to the legacy per-worker seeding.
-			rngs := make([]*rand.Rand, batch)
-			for l := range rngs {
-				rngs[l] = rand.New(rand.NewSource(opts.Seed + int64(w*batch+l)*7919))
+		tasks = append(tasks, task{w, lo, hi})
+	}
+
+	// Worker×lane composition: sampling goroutines and the matmul kernels
+	// draw from one shared core budget. Each extra sampling goroutine holds
+	// a kernel token while it runs, so the per-layer GEMMs inside every
+	// sampler see a correspondingly smaller budget and the two levels of
+	// parallelism compose instead of oversubscribing the machine. Under a
+	// full budget the samplers win all tokens and the kernels run serially
+	// inside them — the right split, since worker parallelism has no
+	// synchronization per layer.
+	phys := 1
+	if len(tasks) > 1 {
+		phys += tensor.AcquireKernelTokens(len(tasks) - 1)
+	}
+	if phys > len(tasks) {
+		phys = len(tasks)
+	}
+
+	var usedBatchKernel atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	run := func() {
+		// One rng stream per lane: lane l of worker w always sees the same
+		// stream regardless of how tuples land in sweeps, and with batch 1
+		// this reduces to the legacy per-worker seeding. The rngs are
+		// allocated once per goroutine and reseeded per logical task.
+		rngs := make([]*rand.Rand, batch)
+		for l := range rngs {
+			rngs[l] = rand.New(rand.NewSource(0))
+		}
+		s := newSampler()
+		bs, okBatch := s.(join.BatchTupleSampler)
+		okBatch = okBatch && batch > 1 && bs.BatchCap() >= batch
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= len(tasks) {
+				return
 			}
-			s := newSampler()
-			bs, ok := s.(join.BatchTupleSampler)
-			if ok && batch > 1 && bs.BatchCap() >= batch {
+			w, lo, hi := tasks[t].w, tasks[t].lo, tasks[t].hi
+			for l := range rngs {
+				rngs[l].Seed(opts.Seed + int64(w*batch+l)*7919)
+			}
+			if okBatch {
 				usedBatchKernel.Store(true)
 				for base := lo; base < hi; base += batch {
 					n := batch
@@ -168,7 +221,7 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 						g.sanitize(flat[i*ncols : (i+1)*ncols])
 					}
 				}
-				return
+				continue
 			}
 			// Per-tuple fallback keeps the lane-strided rng assignment so
 			// each tuple consumes the same stream as under the batched
@@ -178,10 +231,22 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 				s.SampleFOJ(rngs[(i-lo)%batch], dst)
 				g.sanitize(dst)
 			}
-		}(w, lo, hi)
+		}
 	}
+	for p := 1; p < phys; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
 	wg.Wait()
+	if phys > 1 {
+		tensor.ReleaseKernelTokens(phys - 1)
+	}
 	span.SetAttr("batched", usedBatchKernel.Load())
+	span.SetAttr("goroutines", phys)
 	opts.Hooks.GenPhase(obs.GenPhase{Phase: "sample", Tuples: k, Wall: time.Since(start)})
 	return flat
 }

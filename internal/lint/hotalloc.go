@@ -34,9 +34,11 @@ var tensorAllocators = map[string]bool{
 // Functions named New*/new* are exempt — constructors run once and build
 // persistent state by design — and so are closures defined inside them.
 // Other closures are separate scopes: a loop outside a func literal does
-// not make the literal's body hot. Slices initialized by a sized make or
+// not make the literal's body hot. Slices initialized by a sized make,
 // by reslicing an existing slice (s := buf[:0], the in-place filter
-// idiom) are treated as pre-sized and their appends are not flagged.
+// idiom), or by selecting a row of a pooled slice-of-slices
+// (lst := pool[i]) are treated as pre-sized and their appends are not
+// flagged.
 var HotAlloc = &analysis.Analyzer{
 	Name:         "hotalloc",
 	PipelineOnly: true,
@@ -169,8 +171,11 @@ func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
 }
 
 // recordSizedMakes marks slice variables defined by a make with explicit
-// length or capacity, or by reslicing an existing slice (s := buf[:0], the
-// in-place filter idiom); appends to those reuse capacity on purpose.
+// length or capacity, by reslicing an existing slice (s := buf[:0], the
+// in-place filter idiom), or by selecting a row of a pooled
+// slice-of-slices (lst := pool[i], appended to and stored back); appends
+// to those reuse capacity on purpose — the backing buffer outlives the
+// loop even when the header variable is loop-local.
 func recordSizedMakes(info *types.Info, as *ast.AssignStmt, sized map[types.Object]bool) {
 	for i, rhs := range as.Rhs {
 		presized := false
@@ -179,6 +184,8 @@ func recordSizedMakes(info *types.Info, as *ast.AssignStmt, sized map[types.Obje
 			id, ok := ast.Unparen(rhs.Fun).(*ast.Ident)
 			presized = ok && len(rhs.Args) >= 2 && isBuiltin(info, id, "make")
 		case *ast.SliceExpr:
+			presized = true
+		case *ast.IndexExpr:
 			presized = true
 		}
 		if !presized || i >= len(as.Lhs) {

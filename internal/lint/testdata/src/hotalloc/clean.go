@@ -43,6 +43,54 @@ func filtered(buf []float64, rows [][]float64) int {
 	return total
 }
 
+// Per-lane cache buffers belong in the constructor: allocated once with
+// capacity for the worst case, the warm sweep reslices each to empty and
+// refills it instead of reallocating.
+type laneCache struct {
+	nz [][]int
+}
+
+func NewLaneCache(lanes, width int) *laneCache {
+	c := &laneCache{nz: make([][]int, lanes)}
+	for l := range c.nz {
+		c.nz[l] = make([]int, 0, width)
+	}
+	return c
+}
+
+// Continuing a pooled row without truncation (lst := pool[l], append,
+// store back) reuses capacity the same way: the nonzero-list kernels
+// extend each lane's list in place across column steps.
+func (c *laneCache) extend(rows [][]float64, lo int) int {
+	total := 0
+	for l, r := range rows {
+		lst := c.nz[l]
+		for j, v := range r {
+			if v > 0 {
+				lst = append(lst, lo+j)
+			}
+		}
+		c.nz[l] = lst
+		total += len(lst)
+	}
+	return total
+}
+
+func (c *laneCache) sweep(rows [][]float64) int {
+	total := 0
+	for l, r := range rows {
+		lst := c.nz[l][:0]
+		for j, v := range r {
+			if v > 0 {
+				lst = append(lst, j)
+			}
+		}
+		c.nz[l] = lst
+		total += len(lst)
+	}
+	return total
+}
+
 // A sized make pre-allocates deliberately; its appends never regrow.
 func sized(rows [][]float64) int {
 	total := 0

@@ -16,6 +16,22 @@ func hotLoop(a, b *tensor.Tensor, n int) float64 {
 	return sum
 }
 
+// The pre-fusion sampling loop normalized each lane's logits into a fresh
+// probability slice before walking the CDF; the fused path exponentiates
+// the logit row in place (tensor.ExpRowMass) and draws straight from the
+// unnormalized masses, so a per-lane probs slice in the sweep is a bug.
+func drawSweep(logits *tensor.Tensor) int {
+	bins := 0
+	for l := 0; l < logits.Rows; l++ {
+		var probs []float64
+		for _, v := range logits.Row(l) {
+			probs = append(probs, v) // want `append grows probs, a temporary declared in a loop body`
+		}
+		bins += len(probs)
+	}
+	return bins
+}
+
 // A temporary declared in a loop body regrows from nil every iteration.
 func growingTemp(rows [][]float64) int {
 	total := 0

@@ -54,12 +54,32 @@ type Inference interface {
 // create one per goroutine. Lanes beyond the caller's live count carry
 // stale inputs and produce garbage (finite) outputs — callers simply
 // ignore those rows.
+//
+// Implementations may cache activations across Forward/ForwardCol calls
+// (the prefix activation cache): after mutating X, callers must call
+// InvalidateFrom with the smallest flat column index they touched before
+// the next forward pass, or cached state from the previous input may be
+// served. Weight updates are tracked independently via tensor versions and
+// need no notification beyond the usual MarkDirty.
 type BatchInference interface {
 	// Batch returns the lane count B fixed at construction.
 	Batch() int
 	// X returns the reusable B×InDim input matrix; callers zero and fill
 	// the rows of live lanes between passes.
 	X() *tensor.Tensor
+	// InvalidateFrom records that input columns with flat index lo or
+	// beyond may have changed in X since the last forward pass, dropping
+	// any cached activations that depend on them. Inputs below lo must be
+	// unchanged in every lane. lo ≥ InDim is a no-op.
+	InvalidateFrom(lo int)
+	// SetInput sets X[lane][flat] = 1, equivalent to storing through X()
+	// directly but visible to the implementation: ancestral sampling sets
+	// exactly one one-hot per column step, and the notification lets sparse
+	// input bookkeeping track it without ever rescanning X. Callers must
+	// have called InvalidateFrom(lo) with lo ≤ flat since the last forward
+	// pass, and within a lane the flat indices passed between two
+	// invalidations must not decrease.
+	SetInput(lane, flat int)
 	// Forward computes the full B×InDim logits for the current X. The
 	// result is owned by the buffer and valid until the next call.
 	Forward() *tensor.Tensor

@@ -121,6 +121,65 @@ func TestMADEBatchForwardColAllocFree(t *testing.T) {
 	}
 }
 
+// TestBatchPrefixCacheRetrainInvalidation pins the prefix-activation (and,
+// for the transformer, KV) cache against retraining: a full ascending
+// ForwardCol sweep warms every cached prefix width, then a parameter
+// perturbation with MarkDirty bumps the version stamps; the next sweep —
+// with the inputs untouched, so every cache key still matches — must
+// recompute from scratch and agree with fresh single-row forwards. A cache
+// keyed on the last-changed input column alone would serve stale
+// activations here.
+func TestBatchPrefixCacheRetrainInvalidation(t *testing.T) {
+	colSizes := []int{3, 4, 5, 2}
+	backbones := map[string]func() Backbone{
+		"made": func() Backbone {
+			return NewMADE(rand.New(rand.NewSource(14)), colSizes, 20, 2)
+		},
+		"transformer": func() Backbone {
+			return NewTransformer(rand.New(rand.NewSource(15)), colSizes, 16, 2, 32, 2)
+		},
+	}
+	for name, build := range backbones {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(16))
+			m := build()
+			const lanes = 3
+			bi := m.NewBatchInference(lanes)
+			singles := make([][]float64, lanes)
+			for l := range singles {
+				singles[l] = make([]float64, m.InDim())
+			}
+			fillLaneOneHots(rng, bi.X(), m.Offsets(), colSizes, singles)
+			for i := range colSizes {
+				bi.ForwardCol(i) // warm every cached prefix width
+			}
+
+			for _, p := range m.Params() {
+				for i := range p.Data {
+					p.Data[i] += 0.05 * rng.NormFloat64()
+				}
+				p.MarkDirty()
+			}
+
+			buf := m.NewInference()
+			for i := range colSizes {
+				block := bi.ForwardCol(i)
+				for l := 0; l < lanes; l++ {
+					copy(buf.X(), singles[l])
+					want := m.ColLogits(buf.Forward(), i)
+					row := block.Row(l)
+					for j := range row {
+						if math.Abs(row[j]-want[j]) > 1e-9 {
+							t.Fatalf("col %d lane %d logit %d stale after retrain: %v vs %v",
+								i, l, j, row[j], want[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestMADEBatchTracksRetraining checks the transposed-weight caches follow
 // weight updates: mutating a layer (with MarkDirty, as optimizers do) must
 // change the batched ForwardCol output to match a fresh single-row forward.

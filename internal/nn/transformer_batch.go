@@ -6,12 +6,16 @@ import (
 	"sam/internal/tensor"
 )
 
-// transformerBatch is the Transformer's BatchInference. Buffers are
-// position-major — row p*B+l holds position p of lane l — so the q/k/v,
-// output and feed-forward projections of a whole prefix become single
-// GEMMs over (positions×B) rows via precomputed prefix views. Attention
-// and layer norms stay scalar per (lane, position); they are O(d) per row
-// versus the projections' O(d²), so the GEMMs dominate.
+// transformerBatch is the Transformer's BatchInference. It is built around
+// the prefix activation cache (the classic KV cache): ancestral sampling
+// extends each lane's token sequence by one position per column step, so a
+// step appends position i — one B-row q/k/v projection, one attention row
+// over the cached keys/values, one feed-forward — instead of re-running
+// the transformer over the whole prefix. K/V buffers are per layer and
+// position-major (row p*B+l holds position p of lane l), so the
+// projections of the appended position are single B×dModel GEMMs into
+// precomputed views. Attention and layer norms stay scalar per
+// (lane, position); they are O(d) per row versus the projections' O(d²).
 type transformerBatch struct {
 	t     *Transformer
 	batch int
@@ -19,19 +23,37 @@ type transformerBatch struct {
 	x   *tensor.Tensor // B × inDim
 	out *tensor.Tensor // B × inDim (Forward result)
 
-	seq, normed, q, k, v, ctx *tensor.Tensor // (n·B) × dModel
-	ff                        *tensor.Tensor // (n·B) × ff
+	// Per-layer K/V caches: kCache[l] row p*B+lane holds position p's key
+	// at layer l; kViews[l][p]/vViews[l][p] expose position p's B rows so
+	// the projections write straight into the cache.
+	kCache, vCache []*tensor.Tensor
+	kViews, vViews [][]*tensor.Tensor
 
-	// Prefix views: index p exposes the first (p+1)·B rows of the matching
-	// buffer, so a step-p forward runs its GEMMs over exactly the live
-	// prefix without reallocating headers.
-	seqV, normedV, qV, kV, vV, ctxV, ffV []*tensor.Tensor
+	// normed holds the final layer-normed hidden state of every cached
+	// position (n·B × dModel); writeBlock projects output logits from it.
+	normed *tensor.Tensor
+
+	// Scratch for the position currently being appended, all B rows wide:
+	// h is the residual stream, ln the pre-norm/projection temporary.
+	h, ln, q, ctx *tensor.Tensor // B × dModel
+	ff            *tensor.Tensor // B × ff
 
 	scores   []float64
 	colViews []*tensor.Tensor // B × colSizes[i] views over a shared buffer
+
+	// Cache state: positions [0, validPos) have correct K/V at every layer
+	// and correct final normed states for the current X. InvalidateFrom
+	// shrinks it when inputs change; any weight MarkDirty drops it whole.
+	validPos   int
+	params     []*tensor.Tensor
+	paramStamp uint64
 }
 
-// NewBatchInference allocates batched scratch sized for t and b lanes.
+// NewBatchInference allocates batched scratch sized for t and b lanes; the
+// K/V prefix cache is the only per-lane state that grows with the column
+// count (2·layers·n·dModel floats per lane, plus n·dModel for the final
+// hidden states). All allocation happens here — appended positions reuse
+// these buffers, so the steady-state forward path performs none.
 func (t *Transformer) NewBatchInference(b int) BatchInference {
 	if b < 1 {
 		panic("nn: batch inference needs at least one lane")
@@ -42,30 +64,31 @@ func (t *Transformer) NewBatchInference(b int) BatchInference {
 		batch:  b,
 		x:      tensor.New(b, t.inDim),
 		out:    tensor.New(b, t.inDim),
-		seq:    tensor.New(n*b, t.dModel),
 		normed: tensor.New(n*b, t.dModel),
-		q:      tensor.New(n*b, t.dModel),
-		k:      tensor.New(n*b, t.dModel),
-		v:      tensor.New(n*b, t.dModel),
-		ctx:    tensor.New(n*b, t.dModel),
-		ff:     tensor.New(n*b, t.ff),
+		h:      tensor.New(b, t.dModel),
+		ln:     tensor.New(b, t.dModel),
+		q:      tensor.New(b, t.dModel),
+		ctx:    tensor.New(b, t.dModel),
+		ff:     tensor.New(b, t.ff),
 		scores: make([]float64, n),
+		params: t.Params(),
 	}
-	view := func(full *tensor.Tensor, cols int) []*tensor.Tensor {
-		vs := make([]*tensor.Tensor, n)
-		for p := 0; p < n; p++ {
-			rows := (p + 1) * b
-			vs[p] = tensor.FromSlice(rows, cols, full.Data[:rows*cols])
+	bi.paramStamp = ^uint64(0) // force a version sync on first use
+	for range t.layers {
+		k := tensor.New(n*b, t.dModel)
+		v := tensor.New(n*b, t.dModel)
+		bi.kCache = append(bi.kCache, k)
+		bi.vCache = append(bi.vCache, v)
+		view := func(full *tensor.Tensor) []*tensor.Tensor {
+			vs := make([]*tensor.Tensor, n)
+			for p := 0; p < n; p++ {
+				vs[p] = tensor.FromSlice(b, t.dModel, full.Data[p*b*t.dModel:(p+1)*b*t.dModel])
+			}
+			return vs
 		}
-		return vs
+		bi.kViews = append(bi.kViews, view(k))
+		bi.vViews = append(bi.vViews, view(v))
 	}
-	bi.seqV = view(bi.seq, t.dModel)
-	bi.normedV = view(bi.normed, t.dModel)
-	bi.qV = view(bi.q, t.dModel)
-	bi.kV = view(bi.k, t.dModel)
-	bi.vV = view(bi.v, t.dModel)
-	bi.ctxV = view(bi.ctx, t.dModel)
-	bi.ffV = view(bi.ff, t.ff)
 	maxSize := 0
 	for _, s := range t.colSizes {
 		if s > maxSize {
@@ -85,110 +108,162 @@ func (b *transformerBatch) Batch() int { return b.batch }
 // X returns the reusable B×InDim input matrix.
 func (b *transformerBatch) X() *tensor.Tensor { return b.x }
 
-// forwardPrefix runs the transformer over token positions 0..p for every
-// lane, leaving the final layer-normed hidden states in b.normed. It
-// mirrors the single-row inference path exactly (pre-norm blocks, causal
-// attention, shifted tokens).
-func (b *transformerBatch) forwardPrefix(p int) {
+// SetInput sets x[lane][flat] = 1. The transformer keeps no input-side
+// sparse bookkeeping (appendPos already visits only the changed column's
+// one-hot block), so the notification is just the direct store.
+func (b *transformerBatch) SetInput(lane, flat int) {
+	b.x.Data[lane*b.t.inDim+flat] = 1
+}
+
+// syncVersion drops the K/V cache when any trainable tensor has been
+// mutated (summed tensor versions strictly increase on MarkDirty).
+func (b *transformerBatch) syncVersion() {
+	var stamp uint64
+	for _, p := range b.params {
+		stamp += p.Version()
+	}
+	if stamp != b.paramStamp {
+		b.validPos = 0
+		b.paramStamp = stamp
+	}
+}
+
+// InvalidateFrom shrinks the cached-position prefix: a change in input
+// column c only alters the token at position c+1 (tokens are shifted
+// right behind SOS), so positions 0..c keep their cached K/V. Changes in
+// the last column never feed a token and invalidate nothing.
+func (b *transformerBatch) InvalidateFrom(lo int) {
+	t := b.t
+	if lo >= t.inDim {
+		return
+	}
+	c := 0
+	for i, off := range t.offsets {
+		if off <= lo {
+			c = i
+		} else {
+			break
+		}
+	}
+	if c+1 < b.validPos {
+		b.validPos = c + 1
+	}
+}
+
+// forwardTo extends the cached prefix through position p, appending one
+// position at a time; positions below validPos are served from the cache.
+func (b *transformerBatch) forwardTo(p int) {
+	b.syncVersion()
+	for pos := b.validPos; pos <= p; pos++ {
+		b.appendPos(pos)
+	}
+	if b.validPos <= p {
+		b.validPos = p + 1
+	}
+}
+
+// appendPos runs the transformer for position pos of every lane on top of
+// the cached prefix: it embeds the token, projects q and the new k/v rows,
+// attends over cached keys/values 0..pos, applies the feed-forward block,
+// and stores the final layer-normed state. It mirrors the single-row
+// inference path exactly (pre-norm blocks, causal attention, shifted
+// tokens) — causality is what makes the append independent of positions
+// after pos.
+func (b *transformerBatch) appendPos(pos int) {
 	t := b.t
 	B := b.batch
 
-	// Tokens: SOS then shifted column embeddings, plus positions.
-	for pos := 0; pos <= p; pos++ {
-		posRow := t.pos.Row(pos)
-		for l := 0; l < B; l++ {
-			row := b.seq.Row(pos*B + l)
-			if pos == 0 {
-				copy(row, t.sos.Data)
-			} else {
-				for j := range row {
-					row[j] = 0
+	// Token: SOS or the shifted column embedding, plus the position row.
+	posRow := t.pos.Row(pos)
+	for l := 0; l < B; l++ {
+		row := b.h.Row(l)
+		if pos == 0 {
+			copy(row, t.sos.Data)
+		} else {
+			for j := range row {
+				row[j] = 0
+			}
+			off, size := t.offsets[pos-1], t.colSizes[pos-1]
+			xrow := b.x.Row(l)
+			for c := 0; c < size; c++ {
+				xv := xrow[off+c]
+				if xv == 0 {
+					continue
 				}
-				off, size := t.offsets[pos-1], t.colSizes[pos-1]
-				xrow := b.x.Row(l)
-				for c := 0; c < size; c++ {
-					xv := xrow[off+c]
-					if xv == 0 {
-						continue
-					}
-					emb := t.wEmb.Row(off + c)
-					for j, ev := range emb {
-						row[j] += xv * ev
-					}
+				emb := t.wEmb.Row(off + c)
+				for j, ev := range emb {
+					row[j] += xv * ev
 				}
 			}
-			for j, pv := range posRow {
-				row[j] += pv
-			}
+		}
+		for j, pv := range posRow {
+			row[j] += pv
 		}
 	}
 
-	rows := (p + 1) * B
 	scale := 1 / math.Sqrt(float64(t.dk))
-	for _, layer := range t.layers {
-		// Pre-norm attention block.
-		for r := 0; r < rows; r++ {
-			layerNormRow(b.normed.Row(r), b.seq.Row(r), layer.ln1Gain.Data, layer.ln1Bias.Data, 1e-5)
+	for li, layer := range t.layers {
+		// Pre-norm attention block: project this position, cache its k/v.
+		for r := 0; r < B; r++ {
+			layerNormRow(b.ln.Row(r), b.h.Row(r), layer.ln1Gain.Data, layer.ln1Bias.Data, 1e-5)
 		}
-		tensor.MatMulInto(b.qV[p], b.normedV[p], layer.wq)
-		tensor.MatMulInto(b.kV[p], b.normedV[p], layer.wk)
-		tensor.MatMulInto(b.vV[p], b.normedV[p], layer.wv)
-		zero := b.ctx.Data[:rows*t.dModel]
-		for i := range zero {
-			zero[i] = 0
+		tensor.MatMulInto(b.q, b.ln, layer.wq)
+		tensor.MatMulInto(b.kViews[li][pos], b.ln, layer.wk)
+		tensor.MatMulInto(b.vViews[li][pos], b.ln, layer.wv)
+		for i := range b.ctx.Data {
+			b.ctx.Data[i] = 0
 		}
+		k, v := b.kCache[li], b.vCache[li]
 		for hd := 0; hd < t.heads; hd++ {
 			lo := hd * t.dk
 			hi := lo + t.dk
 			for l := 0; l < B; l++ {
-				for i := 0; i <= p; i++ {
-					qi := b.q.Row(i*B + l)
-					scores := b.scores[:i+1]
-					maxv := math.Inf(-1)
-					for j := 0; j <= i; j++ {
-						kj := b.k.Row(j*B + l)
-						var s float64
-						for c := lo; c < hi; c++ {
-							s += qi[c] * kj[c]
-						}
-						scores[j] = s * scale
-						if scores[j] > maxv {
-							maxv = scores[j]
-						}
+				qi := b.q.Row(l)
+				scores := b.scores[:pos+1]
+				maxv := math.Inf(-1)
+				for j := 0; j <= pos; j++ {
+					kj := k.Row(j*B + l)
+					var s float64
+					for c := lo; c < hi; c++ {
+						s += qi[c] * kj[c]
 					}
-					var sum float64
-					for j := range scores {
-						scores[j] = math.Exp(scores[j] - maxv)
-						sum += scores[j]
+					scores[j] = s * scale
+					if scores[j] > maxv {
+						maxv = scores[j]
 					}
-					inv := 1 / sum
-					ctxRow := b.ctx.Row(i*B + l)
-					for j := 0; j <= i; j++ {
-						pj := scores[j] * inv
-						vj := b.v.Row(j*B + l)
-						for c := lo; c < hi; c++ {
-							ctxRow[c] += pj * vj[c]
-						}
+				}
+				var sum float64
+				for j := range scores {
+					scores[j] = math.Exp(scores[j] - maxv)
+					sum += scores[j]
+				}
+				inv := 1 / sum
+				ctxRow := b.ctx.Row(l)
+				for j := 0; j <= pos; j++ {
+					pj := scores[j] * inv
+					vj := v.Row(j*B + l)
+					for c := lo; c < hi; c++ {
+						ctxRow[c] += pj * vj[c]
 					}
 				}
 			}
 		}
-		tensor.MatMulInto(b.normedV[p], b.ctxV[p], layer.wo)
-		addRows(b.seqV[p], b.normedV[p])
+		tensor.MatMulInto(b.ln, b.ctx, layer.wo)
+		addRows(b.h, b.ln)
 
 		// Pre-norm feed-forward block.
-		for r := 0; r < rows; r++ {
-			layerNormRow(b.normed.Row(r), b.seq.Row(r), layer.ln2Gain.Data, layer.ln2Bias.Data, 1e-5)
+		for r := 0; r < B; r++ {
+			layerNormRow(b.ln.Row(r), b.h.Row(r), layer.ln2Gain.Data, layer.ln2Bias.Data, 1e-5)
 		}
-		tensor.MatMulInto(b.ffV[p], b.normedV[p], layer.w1)
-		addRowBiasReLU(b.ffV[p], layer.b1.Data)
-		tensor.MatMulInto(b.normedV[p], b.ffV[p], layer.w2)
-		addRowBias(b.normedV[p], layer.b2.Data)
-		addRows(b.seqV[p], b.normedV[p])
+		tensor.MatMulInto(b.ff, b.ln, layer.w1)
+		addRowBiasReLU(b.ff, layer.b1.Data)
+		tensor.MatMulInto(b.ln, b.ff, layer.w2)
+		addRowBias(b.ln, layer.b2.Data)
+		addRows(b.h, b.ln)
 	}
 
-	for r := 0; r < rows; r++ {
-		layerNormRow(b.normed.Row(r), b.seq.Row(r), t.lnFGain.Data, t.lnFBias.Data, 1e-5)
+	for l := 0; l < B; l++ {
+		layerNormRow(b.normed.Row(pos*B+l), b.h.Row(l), t.lnFGain.Data, t.lnFBias.Data, 1e-5)
 	}
 }
 
@@ -216,7 +291,7 @@ func (b *transformerBatch) writeBlock(i int, put func(l int) []float64) {
 // Forward computes the full B×InDim logits for the current X.
 func (b *transformerBatch) Forward() *tensor.Tensor {
 	n := len(b.t.colSizes)
-	b.forwardPrefix(n - 1)
+	b.forwardTo(n - 1)
 	for i := 0; i < n; i++ {
 		off, size := b.t.offsets[i], b.t.colSizes[i]
 		b.writeBlock(i, func(l int) []float64 {
@@ -226,16 +301,18 @@ func (b *transformerBatch) Forward() *tensor.Tensor {
 	return b.out
 }
 
-// ForwardCol computes only column i's B×colSizes[i] logit block, running
-// the transformer over just the prefix positions 0..i that feed it.
+// ForwardCol computes only column i's B×colSizes[i] logit block. With a
+// warm prefix cache this appends at most one position — the column-step
+// cost drops from O(i) re-projected positions to O(1) plus the O(i)
+// attention dot products.
 func (b *transformerBatch) ForwardCol(i int) *tensor.Tensor {
-	b.forwardPrefix(i)
+	b.forwardTo(i)
 	out := b.colViews[i]
 	b.writeBlock(i, out.Row)
 	return out
 }
 
-// addRows adds o to t elementwise (same shape, shared-prefix views).
+// addRows adds o to t elementwise (same shape).
 func addRows(t, o *tensor.Tensor) {
 	td := t.Data
 	for i, v := range o.Data[:len(td)] {

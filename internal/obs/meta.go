@@ -27,14 +27,22 @@ func BuildMeta() Meta {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
 		for _, s := range bi.Settings {
-			if s.Key == "vcs.revision" {
-				m.Commit = s.Value
-				if len(m.Commit) > 12 {
-					m.Commit = m.Commit[:12]
-				}
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
 			}
 		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" && modified == "true" {
+			rev += "+dirty"
+		}
+		m.Commit = rev
 	}
 	return m
 }

@@ -154,9 +154,19 @@ func matMulSuffixRange(dst, a, b *Tensor, spans []int, lo, hi int, acc bool) {
 // dependency set is always a prefix). Rows of mw whose suffix starts at or
 // past head contribute nothing and are skipped wholesale.
 func MatMulMaskedSuffixHeadInto(dst, a, mw *Tensor, spans []int, head int) {
+	MatMulMaskedSuffixHeadRangeInto(dst, a, mw, spans, 0, head)
+}
+
+// MatMulMaskedSuffixHeadRangeInto computes only columns [lo, head) of
+// dst = a·mw for suffix-monotone spans; dst columns outside the range are
+// left untouched. The prefix activation cache uses it to recompute just
+// the stale tail of a hidden layer: columns [0, lo) already hold valid
+// activations for the current input, so only units the last-changed input
+// column can reach are re-evaluated.
+func MatMulMaskedSuffixHeadRangeInto(dst, a, mw *Tensor, spans []int, lo, head int) {
 	checkMatMul(dst, a, mw)
-	if head < 0 || head > mw.Cols {
-		panic(fmt.Sprintf("tensor: suffix head %d out of range [0,%d]", head, mw.Cols))
+	if lo < 0 || lo > head || head > mw.Cols {
+		panic(fmt.Sprintf("tensor: suffix range [%d,%d) out of range [0,%d]", lo, head, mw.Cols))
 	}
 	cols, n := a.Cols, mw.Cols
 	kEnd := 0
@@ -171,7 +181,7 @@ func MatMulMaskedSuffixHeadInto(dst, a, mw *Tensor, spans []int, head int) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*cols : i*cols+kEnd]
 		drow := dst.Data[i*n : i*n+head]
-		for j := range drow {
+		for j := lo; j < head; j++ {
 			drow[j] = 0
 		}
 		if sparse {
@@ -180,6 +190,9 @@ func MatMulMaskedSuffixHeadInto(dst, a, mw *Tensor, spans []int, head int) {
 					continue
 				}
 				s := spans[2*k]
+				if s < lo {
+					s = lo
+				}
 				axpy1(drow[s:], mw.Data[k*n+s:k*n+head], av)
 			}
 			continue
@@ -191,18 +204,20 @@ func MatMulMaskedSuffixHeadInto(dst, a, mw *Tensor, spans []int, head int) {
 				continue
 			}
 			s := spans[2*(k+3)] // monotone: the quad's widest start, < head
-			axpy4(drow[s:],
-				mw.Data[k*n+s:k*n+head], mw.Data[(k+1)*n+s:(k+1)*n+head],
-				mw.Data[(k+2)*n+s:(k+2)*n+head], mw.Data[(k+3)*n+s:(k+3)*n+head],
-				v0, v1, v2, v3)
-			if spans[2*k] < s {
+			if sc := max(s, lo); sc < head {
+				axpy4(drow[sc:],
+					mw.Data[k*n+sc:k*n+head], mw.Data[(k+1)*n+sc:(k+1)*n+head],
+					mw.Data[(k+2)*n+sc:(k+2)*n+head], mw.Data[(k+3)*n+sc:(k+3)*n+head],
+					v0, v1, v2, v3)
+			}
+			if spans[2*k] < s && s > lo {
 				vs := [3]float64{v0, v1, v2}
 				for t := 0; t < 3; t++ {
 					v := vs[t]
 					if v == 0 {
 						continue
 					}
-					if ks := spans[2*(k+t)]; ks < s {
+					if ks := max(spans[2*(k+t)], lo); ks < s {
 						axpy1(drow[ks:s], mw.Data[(k+t)*n+ks:(k+t)*n+s], v)
 					}
 				}
@@ -210,9 +225,42 @@ func MatMulMaskedSuffixHeadInto(dst, a, mw *Tensor, spans []int, head int) {
 		}
 		for ; k < kEnd; k++ {
 			if av := arow[k]; av != 0 {
-				s := spans[2*k]
+				s := max(spans[2*k], lo)
 				axpy1(drow[s:], mw.Data[k*n+s:k*n+head], av)
 			}
+		}
+	}
+}
+
+// MatMulNZSuffixHeadRangeInto computes columns [lo, head) of dst = a·mw for
+// suffix-monotone spans, visiting only the entries of each a row whose
+// (ascending) indices are listed in nz[i] instead of scanning the row for
+// nonzeros. Batched ancestral sampling uses it for the one-hot input layer:
+// the sampler's buffer already knows which inputs it set, so the per-lane
+// cost is proportional to the sampled prefix length rather than the input
+// width. Listed entries may be zero (they just add nothing); unlisted
+// entries must be zero.
+func MatMulNZSuffixHeadRangeInto(dst, a *Tensor, nz [][]int, mw *Tensor, spans []int, lo, head int) {
+	checkMatMul(dst, a, mw)
+	if lo < 0 || lo > head || head > mw.Cols {
+		panic(fmt.Sprintf("tensor: suffix range [%d,%d) out of range [0,%d]", lo, head, mw.Cols))
+	}
+	cols, n := a.Cols, mw.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*cols : (i+1)*cols]
+		drow := dst.Data[i*n : i*n+head]
+		for j := lo; j < head; j++ {
+			drow[j] = 0
+		}
+		for _, k := range nz[i] {
+			s := spans[2*k]
+			if s >= head {
+				break // monotone: every later entry starts later still
+			}
+			if s < lo {
+				s = lo
+			}
+			axpy1(drow[s:], mw.Data[k*n+s:k*n+head], arow[k])
 		}
 	}
 }
@@ -230,14 +278,23 @@ func MatMulMaskedSuffixHeadInto(dst, a, mw *Tensor, spans []int, head int) {
 // prefix[j] is the nonzero prefix length of wt row j, nondecreasing in j.
 // dst columns at or past head are left untouched.
 func MatMulPrefixReLUInto(dst, a, wt *Tensor, prefix []int, bias []float64, head int) {
-	if a.Cols != wt.Cols || dst.Rows != a.Rows || head < 0 || head > wt.Rows || head > dst.Cols {
-		panic(fmt.Sprintf("tensor: prefix matmul mismatch %v·%vᵀ→%v head %d", a, wt, dst, head))
+	MatMulPrefixReLURangeInto(dst, a, wt, prefix, bias, 0, head)
+}
+
+// MatMulPrefixReLURangeInto computes dst[:, lo:head] = relu(a·wtᵀ + bias)
+// restricted to output units [lo, head); columns outside the range are left
+// untouched. This is the prefix-cache form of MatMulPrefixReLUInto: units
+// below lo already hold valid activations for the current input and are
+// skipped wholesale.
+func MatMulPrefixReLURangeInto(dst, a, wt *Tensor, prefix []int, bias []float64, lo, head int) {
+	if a.Cols != wt.Cols || dst.Rows != a.Rows || lo < 0 || lo > head || head > wt.Rows || head > dst.Cols {
+		panic(fmt.Sprintf("tensor: prefix matmul mismatch %v·%vᵀ→%v range [%d,%d)", a, wt, dst, lo, head))
 	}
 	ac, n := a.Cols, dst.Cols
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*ac : (i+1)*ac]
 		drow := dst.Data[i*n : i*n+head]
-		j := 0
+		j := lo
 		for ; j+4 <= head; j += 4 {
 			p := prefix[j] // the quad's shortest prefix
 			s0, s1, s2, s3 := dot4Dense(arow[:p],
@@ -261,6 +318,65 @@ func MatMulPrefixReLUInto(dst, a, wt *Tensor, prefix []int, bias []float64, head
 			p := prefix[j]
 			drow[j] = max(dot1Dense(arow[:p], wt.Data[j*ac:j*ac+p])+bias[j], 0)
 		}
+	}
+}
+
+// MatMulPrefixReLURangeNZInto is MatMulPrefixReLURangeInto fused with
+// nonzero bookkeeping: the index of every strictly positive output in
+// [lo, head) is appended to nz[i] as it is written, so axpy-form consumers
+// of the activations (MatMulNZBlockBiasInto) never rescan the rows for
+// nonzeros. Callers must ensure each nz[i] currently covers exactly units
+// [0, lo) — the lists stay ascending and gap-free.
+func MatMulPrefixReLURangeNZInto(dst, a, wt *Tensor, prefix []int, bias []float64, lo, head int, nz [][]int) {
+	if a.Cols != wt.Cols || dst.Rows != a.Rows || lo < 0 || lo > head || head > wt.Rows || head > dst.Cols {
+		panic(fmt.Sprintf("tensor: prefix matmul mismatch %v·%vᵀ→%v range [%d,%d)", a, wt, dst, lo, head))
+	}
+	ac, n := a.Cols, dst.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*ac : (i+1)*ac]
+		drow := dst.Data[i*n : i*n+head]
+		lst := nz[i]
+		j := lo
+		for ; j+4 <= head; j += 4 {
+			p := prefix[j] // the quad's shortest prefix
+			s0, s1, s2, s3 := dot4Dense(arow[:p],
+				wt.Data[j*ac:j*ac+p], wt.Data[(j+1)*ac:(j+1)*ac+p],
+				wt.Data[(j+2)*ac:(j+2)*ac+p], wt.Data[(j+3)*ac:(j+3)*ac+p])
+			if q := prefix[j+1]; q > p {
+				s1 += dot1Dense(arow[p:q], wt.Data[(j+1)*ac+p:(j+1)*ac+q])
+			}
+			if q := prefix[j+2]; q > p {
+				s2 += dot1Dense(arow[p:q], wt.Data[(j+2)*ac+p:(j+2)*ac+q])
+			}
+			if q := prefix[j+3]; q > p {
+				s3 += dot1Dense(arow[p:q], wt.Data[(j+3)*ac+p:(j+3)*ac+q])
+			}
+			drow[j] = max(s0+bias[j], 0)
+			drow[j+1] = max(s1+bias[j+1], 0)
+			drow[j+2] = max(s2+bias[j+2], 0)
+			drow[j+3] = max(s3+bias[j+3], 0)
+			if drow[j] > 0 {
+				lst = append(lst, j)
+			}
+			if drow[j+1] > 0 {
+				lst = append(lst, j+1)
+			}
+			if drow[j+2] > 0 {
+				lst = append(lst, j+2)
+			}
+			if drow[j+3] > 0 {
+				lst = append(lst, j+3)
+			}
+		}
+		for ; j < head; j++ {
+			p := prefix[j]
+			v := max(dot1Dense(arow[:p], wt.Data[j*ac:j*ac+p])+bias[j], 0)
+			drow[j] = v
+			if v > 0 {
+				lst = append(lst, j)
+			}
+		}
+		nz[i] = lst
 	}
 }
 
@@ -289,6 +405,43 @@ func MatMulPrefixBiasInto(dst, a, wt *Tensor, bias []float64, p int) {
 		}
 		for ; j < m; j++ {
 			drow[j] = dot1Dense(arow, wt.Data[j*ac:j*ac+p]) + bias[j]
+		}
+	}
+}
+
+// MatMulNZBlockBiasInto computes dst = a·w[:, off:off+m] + bias
+// (m = dst.Cols) in the axpy formulation, visiting only the entries of each
+// a row whose indices are listed in nz[i] (all < w.Rows). ReLU activations
+// are about half zeros, and in this form a zero skips an entire weight row
+// of work — unlike the dot form's per-element skip, which mispredicts more
+// than it saves (see dot4Dense). The output-layer block projection of
+// batched sampling uses it with w as the masked weight product directly, so
+// no transposed copy of the (widest) output layer is materialized, and with
+// incrementally maintained nonzero lists, so the activation rows are never
+// rescanned. Listed entries may be zero; unlisted entries must be zero (or
+// masked off for the block).
+func MatMulNZBlockBiasInto(dst, a *Tensor, nz [][]int, w *Tensor, bias []float64, off int) {
+	m := dst.Cols
+	if dst.Rows != a.Rows || a.Cols > w.Rows || off < 0 || off+m > w.Cols || len(bias) != m {
+		panic(fmt.Sprintf("tensor: nz block matmul mismatch %v·%v[:,%d:%d]→%v", a, w, off, off+m, dst))
+	}
+	n := w.Cols
+	for i := 0; i < dst.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*m : (i+1)*m]
+		copy(drow, bias)
+		lst := nz[i]
+		k := 0
+		for ; k+4 <= len(lst); k += 4 {
+			k0, k1, k2, k3 := lst[k], lst[k+1], lst[k+2], lst[k+3]
+			axpy4(drow,
+				w.Data[k0*n+off:k0*n+off+m], w.Data[k1*n+off:k1*n+off+m],
+				w.Data[k2*n+off:k2*n+off+m], w.Data[k3*n+off:k3*n+off+m],
+				arow[k0], arow[k1], arow[k2], arow[k3])
+		}
+		for ; k < len(lst); k++ {
+			kk := lst[k]
+			axpy1(drow, w.Data[kk*n+off:kk*n+off+m], arow[kk])
 		}
 	}
 }

@@ -45,6 +45,35 @@ func SetMatMulWorkers(n int) {
 // MatMulWorkers returns the current kernel worker limit.
 func MatMulWorkers() int { return int(parLimit.Load()) }
 
+// AcquireKernelTokens claims up to n extra-worker tokens from the shared
+// budget and returns how many were obtained (possibly zero). Long-running
+// phases that spawn their own goroutines — batched sampling workers, most
+// notably — reserve their parallelism here so the matmul kernels and the
+// phase share one core budget instead of competing: a sampling worker
+// holding a token is a core the kernels will not also try to use. Callers
+// must return every acquired token with ReleaseKernelTokens.
+func AcquireKernelTokens(n int) int {
+	acquired := 0
+	for acquired < n {
+		cur := parTokens.Load()
+		if cur <= 0 {
+			break
+		}
+		if parTokens.CompareAndSwap(cur, cur-1) {
+			acquired++
+		}
+	}
+	return acquired
+}
+
+// ReleaseKernelTokens returns tokens previously obtained from
+// AcquireKernelTokens to the shared budget.
+func ReleaseKernelTokens(n int) {
+	if n > 0 {
+		parTokens.Add(int32(n))
+	}
+}
+
 // rangeKernel computes dst rows [lo, hi) from a and b, accumulating into
 // dst when acc is set. spans, when non-nil, bounds the nonzero column range
 // of the masked operand per row (see MaskedWeight); plain kernels ignore

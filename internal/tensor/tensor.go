@@ -442,25 +442,120 @@ func SoftmaxRowsInto(dst, src *Tensor) {
 	}
 }
 
-// ExpRowsInto writes exp(src − rowmax) into dst row by row without
-// normalizing — softmax up to a positive per-row factor. Categorical
-// samplers that accumulate their own total mass draw identically from the
-// unnormalized weights, which saves the normalization pass per row. The
-// tensors must have the same shape and may alias.
+// ExpRowsInto writes row-wise exponentials into dst without normalizing —
+// softmax up to a positive per-row factor, stabilized per row exactly as
+// ExpRowMass describes. Categorical samplers that accumulate their own
+// total mass draw identically from the unnormalized weights, which saves
+// the normalization pass per row. The tensors must have the same shape and
+// may alias.
 func ExpRowsInto(dst, src *Tensor) {
 	if !dst.SameShape(src) {
 		panic(fmt.Sprintf("tensor: exp shape mismatch %v→%v", src, dst))
 	}
 	for r := 0; r < src.Rows; r++ {
-		srow, drow := src.Row(r), dst.Row(r)
-		maxv := math.Inf(-1)
-		for _, v := range srow {
-			if v > maxv {
-				maxv = v
-			}
+		ExpRowMass(dst.Row(r), src.Row(r))
+	}
+}
+
+// expRowSafe bounds the single-pass range of ExpRowMass: for |v| ≤ 700,
+// exp(v) is a normal, finite float64 (no overflow, no denormal), so a row
+// of such entries needs no max subtraction and the stored exponentials
+// remain exactly invertible by log if a rescue must reconstruct them.
+const expRowSafe = 700
+
+// ExpRowMass writes exp(src) into dst (same length, may alias) and returns
+// the total mass Σ dst — the fused form behind in-logits sampling: one
+// pass produces both the unnormalized weights and the CDF total a
+// categorical draw needs, with no separate probability buffer, summation
+// pass, or (on this common path) max scan. In-range entries go through
+// expBounded, whose ~7e-12 relative error is invisible at draw and
+// estimate tolerances. Entries outside (−700, 700) — far beyond any
+// trained logit — divert to the classic max-subtracted two-pass form, so
+// the result is finite and positive for every row with a finite maximum,
+// exactly as if the stable form had run throughout.
+func ExpRowMass(dst, src []float64) float64 {
+	var mass float64
+	for i, v := range src {
+		if !(math.Abs(v) <= expRowSafe) { // also catches NaN
+			return expRowMassRescue(dst, src, i)
 		}
-		for i, v := range srow {
-			drow[i] = math.Exp(v - maxv)
+		e := expBounded(v)
+		dst[i] = e
+		mass += e
+	}
+	if mass > math.MaxFloat64 {
+		// Entries are individually ≤ e⁷⁰⁰ but a very long row can still
+		// overflow the sum; rerun shifted.
+		return expRowMassRescue(dst, src, len(src))
+	}
+	return mass
+}
+
+// expBounded computes exp(x) for |x| ≤ expRowSafe. The bound kills every
+// special case math.Exp must guard against (±Inf, NaN, overflow,
+// denormals), leaving the classic Cody–Waite reduction x = k·ln2 + r and a
+// degree-10 Taylor polynomial on |r| ≤ ln2/2 — evaluated Estrin-style so
+// the chains pipeline — with truncation error under 7e-12 relative. The
+// branch-free body is what makes the hot exp loop of ExpRowMass beat the
+// guarded archExp call per logit.
+func expBounded(x float64) float64 {
+	// Round-to-nearest via the 1.5·2⁵² shifter: adding it pushes the
+	// integer part into the mantissa's low bits, so subtracting it back
+	// yields round(x/ln2) with two adds instead of a Floor call (and keeps
+	// the whole body under the inlining budget).
+	kf := x*expLog2E + expShifter
+	kf -= expShifter
+	r := x - kf*expLn2Hi - kf*expLn2Lo
+	r2 := r * r
+	r4 := r2 * r2
+	g0 := (1 + r) + (exp2C+exp3C*r)*r2
+	g1 := (exp4C + exp5C*r) + (exp6C+exp7C*r)*r2
+	g2 := (exp8C + exp9C*r) + exp10C*r2
+	p := g0 + (g1+g2*r4)*r4
+	return p * math.Float64frombits(uint64(int(kf)+1023)<<52)
+}
+
+const (
+	expLog2E   = 1.44269504088896340736 // 1/ln2
+	expLn2Hi   = 6.93147180369123816490e-01
+	expLn2Lo   = 1.90821492927058770002e-10
+	expShifter = 3 << 51 // 1.5·2⁵², the round-to-nearest bias
+
+	// Taylor coefficients 1/k! of exp at 0.
+	exp2C  = 1.0 / 2
+	exp3C  = 1.0 / 6
+	exp4C  = 1.0 / 24
+	exp5C  = 1.0 / 120
+	exp6C  = 1.0 / 720
+	exp7C  = 1.0 / 5040
+	exp8C  = 1.0 / 40320
+	exp9C  = 1.0 / 362880
+	exp10C = 1.0 / 3628800
+)
+
+// expRowMassRescue finishes a row whose entry i fell outside ExpRowMass's
+// single-pass range (or whose total overflowed): it restores any prefix the
+// fused loop already overwrote in aliased calls — log inverts the stored
+// exponentials to within an ulp, and the prefix is within ±700 where that
+// inversion is well-conditioned — then applies the max-subtracted form to
+// the whole row.
+func expRowMassRescue(dst, src []float64, i int) float64 {
+	if i > 0 && &dst[0] == &src[0] {
+		for j := 0; j < i; j++ {
+			dst[j] = math.Log(dst[j])
 		}
 	}
+	maxv := math.Inf(-1)
+	for _, v := range src {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var mass float64
+	for k, v := range src {
+		e := math.Exp(v - maxv)
+		dst[k] = e
+		mass += e
+	}
+	return mass
 }

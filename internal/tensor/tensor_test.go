@@ -131,6 +131,84 @@ func TestSoftmaxNumericalStability(t *testing.T) {
 	}
 }
 
+func TestExpRowMass(t *testing.T) {
+	// Common path: direct exponentials, mass is their sum.
+	src := []float64{0, 1, -2}
+	dst := make([]float64, 3)
+	mass := ExpRowMass(dst, src)
+	want := math.Exp(0) + math.Exp(1) + math.Exp(-2)
+	if !almostEq(mass, want, 1e-12) {
+		t.Fatalf("mass %v, want %v", mass, want)
+	}
+	for i, v := range src {
+		if !almostEq(dst[i], math.Exp(v), 1e-12) {
+			t.Fatalf("dst[%d] = %v, want exp(%v)", i, dst[i], v)
+		}
+	}
+
+	// Rescue paths, aliased the way the samplers call it: rows whose
+	// entries leave the single-pass range must still yield a finite,
+	// positive mass with the right relative weights.
+	cases := [][]float64{
+		{1000, 1001, 999},    // overflow, rescued mid-row after no writes
+		{1, 2, 1000},         // overflow after the prefix was overwritten
+		{-1000, -1001, -999}, // all entries underflow unshifted
+		{-800, 0, 3},         // one degenerate entry, rest in range
+	}
+	for _, c := range cases {
+		row := append([]float64(nil), c...)
+		mass := ExpRowMass(row, row)
+		if math.IsNaN(mass) || math.IsInf(mass, 0) || mass <= 0 {
+			t.Fatalf("mass %v for %v", mass, c)
+		}
+		// The shifted exponentials must preserve pairwise ratios wherever
+		// both are representable: check the two largest entries.
+		hi, lo := 0, 0
+		for i, v := range c {
+			if v > c[hi] {
+				hi = i
+			}
+		}
+		for i, v := range c {
+			if i != hi && (lo == hi || v > c[lo]) {
+				lo = i
+			}
+		}
+		if lo == hi {
+			lo = (hi + 1) % len(c)
+		}
+		if wantRatio := math.Exp(c[lo] - c[hi]); !almostEq(row[lo]/row[hi], wantRatio, 1e-9) {
+			t.Fatalf("ratio %v, want %v for %v (row %v)", row[lo]/row[hi], wantRatio, c, row)
+		}
+	}
+
+	// NaN entries poison the mass rather than panicking or hanging.
+	nanRow := []float64{1, math.NaN(), 2}
+	if m := ExpRowMass(nanRow, nanRow); !math.IsNaN(m) {
+		t.Fatalf("NaN row mass %v, want NaN", m)
+	}
+}
+
+func TestExpBoundedAccuracy(t *testing.T) {
+	check := func(x float64) {
+		t.Helper()
+		got, want := expBounded(x), math.Exp(x)
+		if rel := math.Abs(got-want) / want; rel > 1e-11 {
+			t.Fatalf("expBounded(%v) = %v, want %v (rel err %v)", x, got, want, rel)
+		}
+	}
+	// Edges of the bounded range, reduction boundaries, and a dense sweep
+	// of the logit magnitudes sampling actually produces.
+	for _, x := range []float64{-expRowSafe, expRowSafe, 0, math.Ln2 / 2, -math.Ln2 / 2, 1, -1, 709.0 / 2, -745.0 / 2} {
+		check(x)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		check((rng.Float64()*2 - 1) * expRowSafe)
+		check((rng.Float64()*2 - 1) * 30) // typical logit range
+	}
+}
+
 // gradCheck numerically verifies dLoss/dParam for a scalar loss built by f.
 func gradCheck(t *testing.T, param *Tensor, f func(g *Graph, p *Node) *Node) {
 	t.Helper()
