@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"sam/internal/experiments"
+	"sam/internal/obs"
 )
 
 func readReport(path string) (*experiments.TensorBenchReport, error) {
@@ -64,7 +65,13 @@ func main() {
 	currentPath := flag.String("current", "", "freshly measured report to gate (required)")
 	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression per benchmark")
 	minSpec := flag.String("min", "", "comma-separated speedup floors, e.g. sample_batched=3")
+	version := flag.Bool("version", false, "print build metadata and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("benchgate", obs.BuildMeta())
+		return
+	}
 
 	if *currentPath == "" {
 		log.Fatal("benchgate: -current is required")

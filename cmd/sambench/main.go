@@ -14,9 +14,12 @@
 //
 // -trace records the run's phase tree (train/sample/weight/merge/eval
 // spans with wall time and allocation deltas) as JSONL and prints its
-// summary after the reports. -progress streams per-epoch training loss and
-// per-phase generation stats to stderr. -debug-addr serves live
-// net/http/pprof, expvar, and the telemetry registry while the run is hot.
+// summary after the reports. -progress streams per-epoch training loss
+// (with an ETA), throttled sampling progress, and per-phase generation
+// stats to stderr. -debug-addr serves live net/http/pprof, expvar, the
+// telemetry registry in Prometheus text format at /metrics (JSON at
+// /metrics.json), and the recent-event ring at /debug/events while the
+// run is hot. Traces written with -trace feed the samtrace analyzer.
 //
 // -tensorbench skips the experiments and instead micro-benchmarks the
 // tensor hot paths (dense matmul, MADE training forward+backward, sampling
@@ -92,12 +95,14 @@ func main() {
 	reg := obs.Default()
 	var hooks *obs.Hooks
 	if *debugAddr != "" {
-		hooks = obs.MetricsHooks(reg)
-		addr, err := obs.ServeDebug(*debugAddr, reg)
+		events := obs.NewEventLog(obs.DefaultEventLogSize)
+		hooks = obs.Merge(obs.MetricsHooks(reg), obs.EventLogHooks(events))
+		addr, closeDebug, err := obs.ServeDebug(*debugAddr, reg, events)
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof, expvar, metrics)\n", addr)
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (pprof, expvar, /metrics, /metrics.json, /debug/events)\n", addr)
 	}
 	if *progress {
 		hooks = obs.Merge(hooks, obs.ProgressHooks(os.Stderr))

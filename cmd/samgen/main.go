@@ -14,8 +14,10 @@
 //
 // -trace records the pipeline's phase tree (train/sample/weight/merge
 // spans with wall time and allocation deltas) as JSONL and prints its
-// summary; -progress streams per-epoch loss and per-phase generation
-// stats to stderr; -debug-addr serves live pprof/expvar/metrics.
+// summary; -progress streams per-epoch loss (with an ETA), throttled
+// sampling progress, and per-phase generation stats to stderr;
+// -debug-addr serves live pprof/expvar, Prometheus metrics at /metrics
+// (JSON at /metrics.json), and the recent-event ring at /debug/events.
 package main
 
 import (
@@ -57,12 +59,14 @@ func main() {
 
 	var hooks *obs.Hooks
 	if *debugAddr != "" {
-		hooks = obs.MetricsHooks(obs.Default())
-		addr, err := obs.ServeDebug(*debugAddr, obs.Default())
+		events := obs.NewEventLog(obs.DefaultEventLogSize)
+		hooks = obs.Merge(obs.MetricsHooks(obs.Default()), obs.EventLogHooks(events))
+		addr, closeDebug, err := obs.ServeDebug(*debugAddr, obs.Default(), events)
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}
-		log.Printf("debug server on http://%s (pprof, expvar, metrics)", addr)
+		defer closeDebug()
+		log.Printf("debug server on http://%s (pprof, expvar, /metrics, /metrics.json, /debug/events)", addr)
 	}
 	if *progress {
 		hooks = obs.Merge(hooks, obs.ProgressHooks(os.Stderr))

@@ -26,13 +26,20 @@ import (
 
 	"sam/internal/lint"
 	"sam/internal/lint/analysis"
+	"sam/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzers in the suite and exit")
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
 	verbose := flag.Bool("v", false, "also show suppressed findings")
+	version := flag.Bool("version", false, "print build metadata and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("samlint", obs.BuildMeta())
+		return
+	}
 
 	suite := lint.Suite()
 	if *list {

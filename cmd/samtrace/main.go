@@ -1,0 +1,105 @@
+// Command samtrace analyzes JSONL phase traces recorded by sambench
+// -trace / samgen -trace. It aggregates spans by their root-to-span name
+// path and reports, per path, total wall time, self time (total minus
+// direct children), and allocation attribution — then the top-N hottest
+// paths by self time. In diff mode it aligns two traces by path and
+// reports per-span wall and allocation deltas, largest change first.
+//
+// Usage:
+//
+//	samtrace [-top N] trace.jsonl
+//	samtrace diff [-top N] old.jsonl new.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sam/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	top := flag.Int("top", 10, "hot spans to list (0 = all)")
+	version := flag.Bool("version", false, "print build metadata and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if *version {
+		fmt.Println("samtrace", obs.BuildMeta())
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	if args[0] == "diff" {
+		// Re-parse flags after the subcommand so "samtrace diff -top 5 a b"
+		// works too.
+		fs := flag.NewFlagSet("samtrace diff", flag.ExitOnError)
+		dtop := fs.Int("top", 0, "limit the diff to the N largest wall deltas (0 = all)")
+		fs.Parse(args[1:])
+		rest := fs.Args()
+		if len(rest) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		diff(rest[0], rest[1], *dtop)
+		return
+	}
+
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+	analyze(args[0], *top)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `samtrace analyzes JSONL phase traces (sambench -trace, samgen -trace).
+
+Usage:
+  samtrace [-top N] trace.jsonl          span tree with self/total wall and alloc, then top-N hot spans
+  samtrace diff [-top N] old.jsonl new.jsonl   per-span wall/alloc deltas, largest first
+  samtrace -version                      print build metadata
+`)
+	flag.PrintDefaults()
+}
+
+func readTraceFile(path string) []obs.SpanRecord {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return recs
+}
+
+func analyze(path string, top int) {
+	stats := obs.AnalyzeTrace(readTraceFile(path))
+	fmt.Printf("== %s: %d span paths ==\n", path, len(stats))
+	obs.WriteTraceTree(os.Stdout, stats)
+	if top != 0 {
+		fmt.Printf("\n== top %d by self time ==\n", top)
+		obs.WriteTopSpans(os.Stdout, stats, top)
+	}
+}
+
+func diff(pathA, pathB string, top int) {
+	a := obs.AnalyzeTrace(readTraceFile(pathA))
+	b := obs.AnalyzeTrace(readTraceFile(pathB))
+	deltas := obs.DiffTraces(a, b)
+	if top > 0 && len(deltas) > top {
+		deltas = deltas[:top]
+	}
+	fmt.Printf("== diff: a=%s  b=%s ==\n", pathA, pathB)
+	obs.WriteTraceDiff(os.Stdout, deltas)
+}

@@ -40,11 +40,12 @@ func main() {
 	flag.Parse()
 
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr, obs.Default())
+		addr, closeDebug, err := obs.ServeDebug(*debugAddr, obs.Default(), nil)
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}
-		log.Printf("debug server on http://%s (pprof, expvar, metrics)", addr)
+		defer closeDebug()
+		log.Printf("debug server on http://%s (pprof, expvar, /metrics, /metrics.json)", addr)
 	}
 
 	var s *relation.Schema

@@ -74,6 +74,45 @@ func TestTrainStepNilObserverAllocs(t *testing.T) {
 	}
 }
 
+// TestTrainStepLabeledMetricsAllocs is the live-telemetry counterpart of
+// TestTrainStepNilObserverAllocs: with obs.MetricsHooks attached to a
+// real registry — labeled families included — a warm train step plus its
+// TrainStep hook dispatch and a pre-resolved labeled-counter update still
+// performs zero heap allocations. This is the guarantee that turning
+// metrics ON does not break the hot-path contract: handle resolution
+// happens once at hook construction, so the per-step work is atomics only.
+func TestTrainStepLabeledMetricsAllocs(t *testing.T) {
+	old := tensor.MatMulWorkers()
+	tensor.SetMatMulWorkers(1)
+	defer tensor.SetMatMulWorkers(old)
+
+	reg := obs.NewRegistry()
+	hooks := obs.MetricsHooks(reg)
+	labeled := reg.CounterVec("train_batch_rows_total", "table").With("t")
+
+	tr, batch := buildTrainerFixture(t, 1)
+	stepIdx := 0
+	step := func() {
+		loss := tr.step(batch, 123, true)
+		stepIdx++
+		hooks.TrainStep(obs.TrainStep{
+			Step: stepIdx, Loss: loss, GradNorm: tr.lastGradNorm, Wall: 1e6,
+		})
+		labeled.Add(int64(len(batch)))
+	}
+	step() // warm pool + Adam state
+	step() // steady-state slice capacities
+	if n := testing.AllocsPerRun(20, step); n != 0 {
+		t.Fatalf("warm train step with live labeled metrics allocates %v times, want 0", n)
+	}
+	if got := reg.Counter("train_steps_total").Value(); got < 20 {
+		t.Fatalf("hook did not reach the registry: train_steps_total = %d", got)
+	}
+	if got := labeled.Value(); got < int64(20*len(batch)) {
+		t.Fatalf("labeled counter = %d, want ≥ %d", got, 20*len(batch))
+	}
+}
+
 // TestTrainHooksObserveSteps drives Train end to end with hooks attached
 // and checks the per-epoch and per-step signals arrive with sane values.
 func TestTrainHooksObserveSteps(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -11,6 +12,7 @@ import (
 	"sam/internal/engine"
 	"sam/internal/join"
 	"sam/internal/metrics"
+	"sam/internal/obs"
 	"sam/internal/relation"
 	"sam/internal/workload"
 )
@@ -353,6 +355,56 @@ func TestGenerateDeterministicForSeed(t *testing.T) {
 					t.Fatalf("table %s col %d row %d differs", tab.Name, ci, i)
 				}
 			}
+		}
+	}
+}
+
+// TestGenProgressEvents pins the in-flight progress wiring: a hook that
+// wants GenProgress receives monotone done counts, a terminal event with
+// done == total, and — because the tracker is observer-only — the drawn
+// samples are identical with and without the hook attached.
+func TestGenProgressEvents(t *testing.T) {
+	orig := datagen.IMDB(21, 100)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultGenOptions(99)
+	opts.Workers = 2
+	const k = 4000
+
+	var mu sync.Mutex
+	var events []obs.GenProgress
+	opts.Hooks = &obs.Hooks{OnGenProgress: func(p obs.GenProgress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}}
+	withHook := gen.DrawSamples(func() join.TupleSampler { return o }, k, opts)
+
+	if len(events) == 0 {
+		t.Fatal("no GenProgress events delivered")
+	}
+	last := events[len(events)-1]
+	if last.Done != k || last.Total != k {
+		t.Fatalf("terminal event = %d/%d, want %d/%d", last.Done, last.Total, k, k)
+	}
+	for _, e := range events {
+		if e.Phase != "sample" || e.Done < 0 || e.Done > e.Total {
+			t.Fatalf("bad progress event: %+v", e)
+		}
+	}
+
+	opts.Hooks = nil
+	plain := gen.DrawSamples(func() join.TupleSampler { return o }, k, opts)
+	if len(withHook) != len(plain) {
+		t.Fatalf("sample count differs with progress hook: %d vs %d", len(withHook), len(plain))
+	}
+	for i := range plain {
+		if withHook[i] != plain[i] {
+			t.Fatalf("sample %d differs with progress hook attached", i)
 		}
 	}
 }

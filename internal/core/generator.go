@@ -185,6 +185,27 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 		phys = len(tasks)
 	}
 
+	// In-flight progress is observer-only: the tracker exists solely when a
+	// hook asks for it (nil otherwise — every call below is a nil no-op), a
+	// CAS throttle picks one reporting worker at a time, and nothing feeds
+	// back into scheduling, so sampling output stays a pure function of
+	// (Seed, Workers, Batch).
+	var prog *obs.Progress
+	if opts.Hooks.WantsGenProgress() {
+		prog = obs.NewProgress(int64(k), 2*time.Second)
+	}
+	const progressInterval = 100 * time.Millisecond
+	emitProgress := func(n int) {
+		prog.Add(int64(n))
+		if prog.ShouldEmit(progressInterval) {
+			s := prog.Snapshot()
+			opts.Hooks.GenProgress(obs.GenProgress{
+				Phase: "sample", Done: int(s.Done), Total: int(s.Total),
+				Rate: s.Rate, ETA: s.ETA,
+			})
+		}
+	}
+
 	var usedBatchKernel atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -220,6 +241,9 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 					for i := base; i < base+n; i++ {
 						g.sanitize(flat[i*ncols : (i+1)*ncols])
 					}
+					if prog != nil {
+						emitProgress(n)
+					}
 				}
 				continue
 			}
@@ -230,6 +254,9 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 				dst := flat[i*ncols : (i+1)*ncols]
 				s.SampleFOJ(rngs[(i-lo)%batch], dst)
 				g.sanitize(dst)
+				if prog != nil {
+					emitProgress(1)
+				}
 			}
 		}
 	}
@@ -247,6 +274,13 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 	}
 	span.SetAttr("batched", usedBatchKernel.Load())
 	span.SetAttr("goroutines", phys)
+	if prog != nil {
+		// Terminal event so observers always see done == total.
+		s := prog.Snapshot()
+		opts.Hooks.GenProgress(obs.GenProgress{
+			Phase: "sample", Done: int(s.Done), Total: int(s.Total), Rate: s.Rate,
+		})
+	}
 	opts.Hooks.GenPhase(obs.GenPhase{Phase: "sample", Tuples: k, Wall: time.Since(start)})
 	return flat
 }

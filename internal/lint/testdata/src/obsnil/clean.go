@@ -3,10 +3,13 @@ package obsnil
 import "sam/internal/obs"
 
 // The wrapper methods are nil-safe on both the receiver and the field.
-func fireSafe(h *obs.Hooks, s obs.TrainStep) {
+func fireSafe(h *obs.Hooks, s obs.TrainStep, p obs.GenProgress) {
 	h.TrainStep(s)
 	if h.WantsTrainStep() {
 		h.TrainStep(s)
+	}
+	if h.WantsGenProgress() {
+		h.GenProgress(p)
 	}
 }
 
@@ -18,4 +21,12 @@ func construct(fn func(obs.TrainStep)) *obs.Hooks {
 		return h
 	}
 	return nil
+}
+
+// Labeled families follow the same contract: With on a nil vector hands
+// back a detached metric, so pre-resolved handles need no nil branch.
+func labeledSafe(r *obs.Registry) {
+	c := r.CounterVec("x_total", "phase").With("sample")
+	c.Inc()
+	r.GaugeVec("mass", "table").With("t").Set(1)
 }

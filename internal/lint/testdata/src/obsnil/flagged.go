@@ -4,7 +4,8 @@ import "sam/internal/obs"
 
 // Invoking a callback field directly panics the moment an observer
 // leaves it unset.
-func fire(h *obs.Hooks, s obs.TrainStep, p obs.GenPhase) {
-	h.OnTrainStep(s) // want `calling obs\.Hooks\.OnTrainStep directly panics when the callback is unset; use the nil-safe wrapper h\.TrainStep`
-	h.OnGenPhase(p)  // want `calling obs\.Hooks\.OnGenPhase directly .* use the nil-safe wrapper h\.GenPhase`
+func fire(h *obs.Hooks, s obs.TrainStep, p obs.GenPhase, gp obs.GenProgress) {
+	h.OnTrainStep(s)    // want `calling obs\.Hooks\.OnTrainStep directly panics when the callback is unset; use the nil-safe wrapper h\.TrainStep`
+	h.OnGenPhase(p)     // want `calling obs\.Hooks\.OnGenPhase directly .* use the nil-safe wrapper h\.GenPhase`
+	h.OnGenProgress(gp) // want `calling obs\.Hooks\.OnGenProgress directly .* use the nil-safe wrapper h\.GenProgress`
 }

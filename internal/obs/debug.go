@@ -1,35 +1,68 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
-var publishOnce sync.Once
+var (
+	publishMu sync.Mutex
+	published *Registry
+	// expvarRegistered tracks the one-time expvar.Publish separately from
+	// the slot: expvar panics on duplicate names, but the exported Func
+	// reads `published` on every call, so the slot itself stays resettable
+	// (tests rely on that).
+	expvarRegistered bool
+)
 
 // PublishExpvar exposes the registry under the "sam" expvar key (served at
-// /debug/vars). Safe to call repeatedly; only the first registry wins
-// (expvar panics on duplicate names).
-func PublishExpvar(r *Registry) {
-	publishOnce.Do(func() {
-		expvar.Publish("sam", expvar.Func(func() any { return r.Snapshot() }))
-	})
+// /debug/vars). expvar is process-global and panics on duplicate names, so
+// only one registry per process can be published: the first non-nil
+// registry wins and every later call with a different registry is refused.
+// The return value reports whether r is the published registry — callers
+// that need a second exported registry should serve their own snapshot
+// instead. A nil registry returns false without claiming the slot.
+func PublishExpvar(r *Registry) bool {
+	if r == nil {
+		return false
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published == nil {
+		published = r
+		if !expvarRegistered {
+			expvarRegistered = true
+			expvar.Publish("sam", expvar.Func(func() any {
+				publishMu.Lock()
+				reg := published
+				publishMu.Unlock()
+				return reg.Snapshot()
+			}))
+		}
+	}
+	return published == r
 }
 
 // ServeDebug starts an HTTP debug server on addr (e.g. ":6060") serving
-// net/http/pprof under /debug/pprof/, expvar under /debug/vars, and the
-// registry snapshot as JSON under /metrics. It binds synchronously — so a
-// bad address fails fast — then serves in a background goroutine for the
-// life of the process. The bound address is returned (useful with ":0").
-func ServeDebug(addr string, r *Registry) (string, error) {
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars, the
+// registry in Prometheus text format under /metrics, the JSON snapshot
+// under /metrics.json, and — when ev is non-nil — the recent-event ring
+// under /debug/events. It binds synchronously, so a bad address fails
+// fast, then serves in a background goroutine. The bound address is
+// returned (useful with ":0") together with a close function that drains
+// the server; serve failures are counted in the registry's
+// obs_debug_serve_errors_total counter rather than silently dropped.
+func ServeDebug(addr string, r *Registry, ev *EventLog) (string, func(), error) {
 	PublishExpvar(r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug server: %w", err)
+		return "", nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -39,6 +72,12 @@ func ServeDebug(addr string, r *Registry) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		if err := WritePrometheus(w, r); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		buf, err := r.MarshalJSON()
 		if err != nil {
@@ -47,7 +86,32 @@ func ServeDebug(addr string, r *Registry) (string, error) {
 		}
 		w.Write(buf)
 	})
+	if ev != nil {
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			buf, err := ev.MarshalJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(buf)
+		})
+	}
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			r.Counter("obs_debug_serve_errors_total").Inc()
+		}
+	}()
+	closeFn := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		<-done
+	}
+	return ln.Addr().String(), closeFn, nil
 }

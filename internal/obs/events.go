@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Event is one entry in the debug event ring: a pipeline signal (train
+// step/epoch, generation phase/progress, evaluated query) with its
+// arrival time and sequence number.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Data any       `json:"data"`
+}
+
+// EventLog is a fixed-capacity ring buffer of recent events, served by
+// the debug server at /debug/events so a long run's last moments are
+// inspectable without a trace file. Appends overwrite the oldest entry;
+// all methods are safe for concurrent use and no-ops on a nil log.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int    // ring position of the next write
+	seq  uint64 // total events ever appended
+}
+
+// DefaultEventLogSize is the ring capacity the CLIs use.
+const DefaultEventLogSize = 256
+
+// NewEventLog returns a ring holding the last capacity events (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+// Add appends one event, evicting the oldest when full.
+func (l *EventLog) Add(kind string, data any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	ev := Event{Seq: l.seq, Time: time.Now(), Kind: kind, Data: data}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ev)
+	} else {
+		l.buf[l.next] = ev
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first. A nil log returns nil.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Total returns the number of events ever appended (≥ len(Events())).
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// MarshalJSON renders the ring as {"total": N, "events": [...]} so the
+// /debug/events endpoint shows both the retained window and how much
+// scrolled past it.
+func (l *EventLog) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}{Total: l.Total(), Events: l.Events()})
+}
+
+// EventLogHooks returns hooks that append every pipeline event to the
+// ring. This is debug tooling: appends box the event payload, so attach
+// it only where the allocation-free contract doesn't apply (the CLIs do
+// so under -debug-addr).
+func EventLogHooks(l *EventLog) *Hooks {
+	return &Hooks{
+		OnTrainEpoch:  func(e TrainEpoch) { l.Add("train_epoch", e) },
+		OnTrainStep:   func(s TrainStep) { l.Add("train_step", s) },
+		OnGenPhase:    func(p GenPhase) { l.Add("gen_phase", p) },
+		OnGenProgress: func(p GenProgress) { l.Add("gen_progress", p) },
+		OnEvalQuery:   func(q EvalQuery) { l.Add("eval_query", q) },
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -44,6 +45,17 @@ type GenPhase struct {
 	Wall                  time.Duration
 }
 
+// GenProgress is a rolling in-flight report from a generation phase:
+// how many of the phase's units are done, the rolling throughput, and
+// the ETA it implies. Emission is throttled at the source (see
+// core.drawSamples), so listeners can print every event.
+type GenProgress struct {
+	Phase       string // "sample" (FOJ tuple draws)
+	Done, Total int
+	Rate        float64       // units/sec over a rolling window
+	ETA         time.Duration // 0 when unknown
+}
+
 // EvalQuery describes one evaluated query.
 type EvalQuery struct {
 	Card   int64 // cardinality on the evaluated database
@@ -56,10 +68,11 @@ type EvalQuery struct {
 // and a nil *Hooks (or nil callback) disables that signal with no
 // measurement cost — the hot paths check WantsX before computing inputs.
 type Hooks struct {
-	OnTrainEpoch func(TrainEpoch)
-	OnTrainStep  func(TrainStep)
-	OnGenPhase   func(GenPhase)
-	OnEvalQuery  func(EvalQuery)
+	OnTrainEpoch  func(TrainEpoch)
+	OnTrainStep   func(TrainStep)
+	OnGenPhase    func(GenPhase)
+	OnGenProgress func(GenProgress)
+	OnEvalQuery   func(EvalQuery)
 }
 
 // WantsTrainStep reports whether per-step stats (latency, grad norm) are
@@ -87,6 +100,20 @@ func (h *Hooks) TrainStep(s TrainStep) {
 func (h *Hooks) GenPhase(p GenPhase) {
 	if h != nil && h.OnGenPhase != nil {
 		h.OnGenPhase(p)
+	}
+}
+
+// WantsGenProgress reports whether in-flight generation progress (done
+// counts, rolling rates, ETA) is worth tracking; the sampling loop skips
+// the progress tracker entirely when it returns false.
+func (h *Hooks) WantsGenProgress() bool { return h != nil && h.OnGenProgress != nil }
+
+// GenProgress invokes the generation-progress callback if set. Progress
+// events may arrive from any worker goroutine, so callbacks must be safe
+// for concurrent use (the built-in hooks are).
+func (h *Hooks) GenProgress(p GenProgress) {
+	if h != nil && h.OnGenProgress != nil {
+		h.OnGenProgress(p)
 	}
 }
 
@@ -128,6 +155,11 @@ func Merge(hooks ...*Hooks) *Hooks {
 			h.GenPhase(p)
 		}
 	}
+	out.OnGenProgress = func(p GenProgress) {
+		for _, h := range live {
+			h.GenProgress(p)
+		}
+	}
 	out.OnEvalQuery = func(q EvalQuery) {
 		for _, h := range live {
 			h.EvalQuery(q)
@@ -138,7 +170,14 @@ func Merge(hooks ...*Hooks) *Hooks {
 
 // MetricsHooks returns hooks that feed the registry: training loss/grad
 // gauges, a step-latency histogram, epoch and query counters, per-query
-// latency and Q-Error histograms, and generation tuple/group/mass metrics.
+// latency and Q-Error histograms, and labeled generation families —
+// per-phase tuple counters and wall-time histograms, per-table merge
+// groups, row rates and weight masses, plus rolling sampling throughput.
+// Handles for the fixed phase vocabulary are pre-resolved at construction,
+// so the per-event hot path (TrainStep, GenProgress) is pure atomics and
+// stays at 0 allocs/op even with live labeled metrics (see
+// ar.TestTrainStepLabeledMetricsAllocs); per-table children resolve
+// lazily because generation phases fire once per table.
 func MetricsHooks(r *Registry) *Hooks {
 	latBounds := ExpBuckets(1e-6, 2, 32) // 1µs … ~1h, in seconds
 	qeBounds := ExpBuckets(1, 1.5, 40)   // Q-Error 1 … ~1e7
@@ -151,6 +190,22 @@ func MetricsHooks(r *Registry) *Hooks {
 	evalQ := r.Counter("eval_queries_total")
 	evalLat := r.Histogram("eval_query_seconds", latBounds)
 	evalQE := r.Histogram("eval_qerror", qeBounds)
+
+	tuples := r.CounterVec("gen_tuples_total", "phase")
+	phaseSec := r.HistogramVec("gen_phase_seconds", latBounds, "phase")
+	mergeGroups := r.CounterVec("gen_merge_groups_total", "table")
+	rowsSec := r.GaugeVec("gen_rows_per_sec", "table")
+	weightMass := r.GaugeVec("gen_weight_mass", "table", "stage")
+	tuplesSec := r.Gauge("gen_tuples_per_sec")
+	progress := r.Gauge("gen_progress_ratio")
+	// Pre-resolved per-phase handles: the phase vocabulary is fixed.
+	sampleTuples := tuples.With("sample")
+	weightTuples := tuples.With("weight")
+	mergeTuples := tuples.With("merge")
+	samplePhaseSec := phaseSec.With("sample")
+	weightPhaseSec := phaseSec.With("weight")
+	mergePhaseSec := phaseSec.With("merge")
+
 	return &Hooks{
 		OnTrainEpoch: func(e TrainEpoch) {
 			epochs.Inc()
@@ -163,13 +218,32 @@ func MetricsHooks(r *Registry) *Hooks {
 			stepLat.Observe(s.Wall.Seconds())
 		},
 		OnGenPhase: func(p GenPhase) {
-			r.Counter("gen_" + p.Phase + "_tuples_total").Add(int64(p.Tuples))
+			tup, sec := tuples.With(p.Phase), phaseSec.With(p.Phase)
+			switch p.Phase {
+			case "sample":
+				tup, sec = sampleTuples, samplePhaseSec
+			case "weight":
+				tup, sec = weightTuples, weightPhaseSec
+			case "merge":
+				tup, sec = mergeTuples, mergePhaseSec
+			}
+			tup.Add(int64(p.Tuples))
+			sec.Observe(p.Wall.Seconds())
 			if p.Phase == "merge" {
-				r.Counter("gen_merge_groups_total").Add(int64(p.Groups))
+				mergeGroups.With(p.Table).Add(int64(p.Groups))
+				if p.Wall > 0 {
+					rowsSec.With(p.Table).Set(float64(p.Tuples) / p.Wall.Seconds())
+				}
 			}
 			if p.Phase == "weight" {
-				r.Gauge("gen_weight_mass_before{" + p.Table + "}").Set(p.MassBefore)
-				r.Gauge("gen_weight_mass_after{" + p.Table + "}").Set(p.MassAfter)
+				weightMass.With(p.Table, "before").Set(p.MassBefore)
+				weightMass.With(p.Table, "after").Set(p.MassAfter)
+			}
+		},
+		OnGenProgress: func(p GenProgress) {
+			tuplesSec.Set(p.Rate)
+			if p.Total > 0 {
+				progress.Set(float64(p.Done) / float64(p.Total))
 			}
 		},
 		OnEvalQuery: func(q EvalQuery) {
@@ -181,30 +255,67 @@ func MetricsHooks(r *Registry) *Hooks {
 }
 
 // ProgressHooks returns hooks that print human-readable progress lines —
-// one per training epoch, generation phase, and 100 evaluated queries —
-// to w (typically stderr under a CLI -progress flag).
+// one per training epoch (with an ETA over the remaining epochs),
+// throttled in-flight sampling progress with rolling tuples/sec and ETA,
+// per-phase generation stats with rows/sec, and one line per 100
+// evaluated queries with a rolling query rate — to w (typically stderr
+// under a CLI -progress flag). The returned hooks serialize their writes,
+// so events may arrive from any goroutine.
 func ProgressHooks(w io.Writer) *Hooks {
+	var mu sync.Mutex
 	var evalN int
+	var epochWall time.Duration
+	evalRate := NewRateMeter(5 * time.Second)
 	return &Hooks{
 		OnTrainEpoch: func(e TrainEpoch) {
-			fmt.Fprintf(w, "train: epoch %d/%d  loss=%.4f  grad=%.3g  %.2f epochs/s\n",
+			mu.Lock()
+			defer mu.Unlock()
+			epochWall += e.Wall
+			line := fmt.Sprintf("train: epoch %d/%d  loss=%.4f  grad=%.3g  %.2f epochs/s",
 				e.Epoch, e.Epochs, e.Loss, e.GradNorm, e.EpochsPerSec())
+			if e.Epoch > 0 && e.Epochs > e.Epoch {
+				eta := time.Duration(float64(epochWall) / float64(e.Epoch) * float64(e.Epochs-e.Epoch))
+				line += fmt.Sprintf("  ETA %v", eta.Round(100*time.Millisecond))
+			}
+			fmt.Fprintln(w, line)
 		},
 		OnGenPhase: func(p GenPhase) {
+			mu.Lock()
+			defer mu.Unlock()
 			switch p.Phase {
 			case "sample":
 				fmt.Fprintf(w, "generate: sampled %d FOJ tuples in %v\n", p.Tuples, p.Wall.Round(time.Millisecond))
 			case "weight":
 				fmt.Fprintf(w, "generate: %s weight mass %.1f -> %.1f\n", p.Table, p.MassBefore, p.MassAfter)
 			case "merge":
-				fmt.Fprintf(w, "generate: %s merged %d groups -> %d rows in %v\n",
-					p.Table, p.Groups, p.Tuples, p.Wall.Round(time.Millisecond))
+				rate := ""
+				if p.Wall > 0 {
+					rate = fmt.Sprintf(" (%.0f rows/s)", float64(p.Tuples)/p.Wall.Seconds())
+				}
+				fmt.Fprintf(w, "generate: %s merged %d groups -> %d rows in %v%s\n",
+					p.Table, p.Groups, p.Tuples, p.Wall.Round(time.Millisecond), rate)
 			}
 		},
+		OnGenProgress: func(p GenProgress) {
+			mu.Lock()
+			defer mu.Unlock()
+			pct := 0.0
+			if p.Total > 0 {
+				pct = 100 * float64(p.Done) / float64(p.Total)
+			}
+			line := fmt.Sprintf("generate: %s %d/%d (%.0f%%)  %.0f tuples/s", p.Phase, p.Done, p.Total, pct, p.Rate)
+			if p.ETA > 0 {
+				line += fmt.Sprintf("  ETA %v", p.ETA.Round(100*time.Millisecond))
+			}
+			fmt.Fprintln(w, line)
+		},
 		OnEvalQuery: func(q EvalQuery) {
+			mu.Lock()
+			defer mu.Unlock()
+			evalRate.Add(1)
 			evalN++
 			if evalN%100 == 0 {
-				fmt.Fprintf(w, "eval: %d queries\n", evalN)
+				fmt.Fprintf(w, "eval: %d queries (%.0f q/s)\n", evalN, evalRate.Rate())
 			}
 		},
 	}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestLabeledVectors pins the family behavior: children are keyed by the
+// full label tuple, repeat With calls return the same handle, and the
+// flat snapshot folds children in under rendered keys.
+func TestLabeledVectors(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.CounterVec("req_total", "table", "phase")
+	c.With("users", "merge").Add(3)
+	c.With("users", "weight").Add(2)
+	c.With("orders", "merge").Inc()
+	if c.With("users", "merge") != c.With("users", "merge") {
+		t.Fatal("repeat With returned different counters")
+	}
+	if got := c.With("users", "merge").Value(); got != 3 {
+		t.Fatalf("users/merge = %d, want 3", got)
+	}
+
+	g := r.GaugeVec("mass", "table")
+	g.With("users").Set(7.5)
+
+	h := r.HistogramVec("lat", ExpBuckets(0.001, 10, 4), "phase")
+	h.With("sample").Observe(0.05)
+	h.With("sample").Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap.Counters[`req_total{table="users",phase="merge"}`] != 3 {
+		t.Fatalf("snapshot counters: %+v", snap.Counters)
+	}
+	if snap.Counters[`req_total{table="orders",phase="merge"}`] != 1 {
+		t.Fatalf("snapshot counters: %+v", snap.Counters)
+	}
+	if snap.Gauges[`mass{table="users"}`] != 7.5 {
+		t.Fatalf("snapshot gauges: %+v", snap.Gauges)
+	}
+	if snap.Histograms[`lat{phase="sample"}`].Count != 2 {
+		t.Fatalf("snapshot histograms: %+v", snap.Histograms)
+	}
+
+	// First registration wins, like Histogram bounds.
+	if r.CounterVec("req_total", "other") != c {
+		t.Fatal("second CounterVec registration returned a new family")
+	}
+}
+
+// TestLabeledVectorCardinalityPanics pins that a wrong label-value count
+// is a programming error, not a silent misrecord.
+func TestLabeledVectorCardinalityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With with one value for two labels did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+// TestLabeledVectorsConcurrent hammers child creation and updates across
+// all three vector kinds while snapshots and Prometheus exposition run
+// concurrently — the data-race gate for the labeled path (run with
+// -race). Counter totals must come out exact.
+func TestLabeledVectorsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("hits_total", "worker", "kind")
+	gv := r.GaugeVec("level", "worker")
+	hv := r.HistogramVec("lat", ExpBuckets(1e-6, 4, 10), "worker")
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", w%4) // shared children across goroutines
+			c := cv.With(id, "write")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				cv.With(id, "read").Inc() // unresolved lookup path
+				gv.With(id).Set(float64(i))
+				hv.With(id).Observe(float64(i%50) * 1e-5)
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and exposition while children churn.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Snapshot()
+				if err := WritePrometheus(discard{}, r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	var total int64
+	for w := 0; w < 4; w++ {
+		id := fmt.Sprintf("w%d", w)
+		total += cv.With(id, "write").Value() + cv.With(id, "read").Value()
+	}
+	if want := int64(2 * workers * perWorker); total != want {
+		t.Fatalf("labeled counter total = %d, want %d", total, want)
+	}
+}
+
+// discard is an io.Writer that drops everything (avoids importing io just
+// for the benchmark-style reader loop).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

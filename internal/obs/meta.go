@@ -47,6 +47,15 @@ func BuildMeta() Meta {
 	return m
 }
 
+// String renders the metadata on one line — the CLIs' -version output.
+func (m Meta) String() string {
+	s := m.GoVersion + " " + m.GOOS + "/" + m.GOARCH
+	if m.Commit != "" {
+		s += " " + m.Commit
+	}
+	return s
+}
+
 // SetAttrs records the metadata as attributes on a span (typically a trace
 // root), alongside whatever run parameters the caller adds.
 func (m Meta) SetAttrs(sp *Span) {

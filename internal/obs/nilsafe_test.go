@@ -55,9 +55,15 @@ func TestNilSafeEntryPoints(t *testing.T) {
 				t.Fatal("nil hooks WantsTrainEpoch = true")
 			}
 		}},
+		{"Hooks.WantsGenProgress", func(t *testing.T) {
+			if nilHooks.WantsGenProgress() {
+				t.Fatal("nil hooks WantsGenProgress = true")
+			}
+		}},
 		{"Hooks.TrainStep", func(t *testing.T) { nilHooks.TrainStep(TrainStep{}) }},
 		{"Hooks.TrainEpoch", func(t *testing.T) { nilHooks.TrainEpoch(TrainEpoch{}) }},
 		{"Hooks.GenPhase", func(t *testing.T) { nilHooks.GenPhase(GenPhase{}) }},
+		{"Hooks.GenProgress", func(t *testing.T) { nilHooks.GenProgress(GenProgress{}) }},
 		{"Hooks.EvalQuery", func(t *testing.T) { nilHooks.EvalQuery(EvalQuery{}) }},
 		{"Merge", func(t *testing.T) {
 			// All-nil inputs merge to a hooks value that is itself safe.
@@ -100,8 +106,66 @@ func TestNilSafeEntryPoints(t *testing.T) {
 				t.Fatalf("nil registry MarshalJSON = %s, want {}", buf)
 			}
 		}},
+		{"Registry.CounterVec", func(t *testing.T) {
+			v := nilReg.CounterVec("x", "l")
+			if v == nil {
+				t.Fatal("nil registry CounterVec = nil")
+			}
+			v.With("a").Inc() // detached but functional
+		}},
+		{"Registry.GaugeVec", func(t *testing.T) {
+			nilReg.GaugeVec("x", "l").With("a").Set(1)
+		}},
+		{"Registry.HistogramVec", func(t *testing.T) {
+			nilReg.HistogramVec("x", []float64{1}, "l").With("a").Observe(0.5)
+		}},
+		{"CounterVec.With", func(t *testing.T) {
+			var v *CounterVec
+			v.With("a").Inc()
+		}},
+		{"GaugeVec.With", func(t *testing.T) {
+			var v *GaugeVec
+			v.With("a").Set(1)
+		}},
+		{"HistogramVec.With", func(t *testing.T) {
+			var v *HistogramVec
+			v.With("a").Observe(1)
+		}},
+		{"EventLog", func(t *testing.T) {
+			var l *EventLog
+			l.Add("k", 1)
+			if l.Events() != nil || l.Total() != 0 {
+				t.Fatal("nil event log not empty")
+			}
+		}},
+		{"RateMeter", func(t *testing.T) {
+			var m *RateMeter
+			m.Add(1)
+			if m.Rate() != 0 {
+				t.Fatal("nil rate meter rate != 0")
+			}
+		}},
+		{"Progress", func(t *testing.T) {
+			var p *Progress
+			p.Add(1)
+			if p.ShouldEmit(0) {
+				t.Fatal("nil progress wants to emit")
+			}
+			if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+				t.Fatalf("nil progress snapshot = %+v", s)
+			}
+		}},
+		{"WritePrometheus", func(t *testing.T) {
+			if err := WritePrometheus(io.Discard, nilReg); err != nil {
+				t.Fatal(err)
+			}
+		}},
 		{"Meta.SetAttrs", func(t *testing.T) { BuildMeta().SetAttrs(nilSpan) }},
-		{"PublishExpvar", func(t *testing.T) { PublishExpvar(nilReg) }},
+		{"PublishExpvar", func(t *testing.T) {
+			if PublishExpvar(nilReg) {
+				t.Fatal("nil registry claimed the expvar slot")
+			}
+		}},
 	}
 
 	for _, tc := range tests {

@@ -96,6 +96,55 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the interpolation corner cases: an
+// empty histogram is NaN at every quantile, a single-bucket histogram
+// interpolates within the observed range, p0 reports the observed min,
+// p100 the observed max, and out-of-range q clamps to [0, 1].
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := NewHistogram([]float64{1, 2, 3})
+	for _, q := range []float64{0, 0.5, 1} {
+		if !math.IsNaN(empty.Quantile(q)) {
+			t.Fatalf("empty Quantile(%v) = %v, want NaN", q, empty.Quantile(q))
+		}
+	}
+
+	// One bound → two buckets; keep all mass in the first so a single
+	// bucket holds every observation.
+	single := NewHistogram([]float64{10})
+	single.Observe(2)
+	single.Observe(4)
+	single.Observe(6)
+	if got := single.Quantile(0); got != 2 {
+		t.Fatalf("single-bucket p0 = %v, want observed min 2", got)
+	}
+	if got := single.Quantile(1); got != 6 {
+		t.Fatalf("single-bucket p100 = %v, want observed max 6", got)
+	}
+	if mid := single.Quantile(0.5); mid < 2 || mid > 6 {
+		t.Fatalf("single-bucket p50 = %v, want within [2, 6]", mid)
+	}
+
+	// q outside [0, 1] clamps instead of extrapolating.
+	if got := single.Quantile(-3); got != 2 {
+		t.Fatalf("Quantile(-3) = %v, want clamp to p0 = 2", got)
+	}
+	if got := single.Quantile(7); got != 6 {
+		t.Fatalf("Quantile(7) = %v, want clamp to p100 = 6", got)
+	}
+
+	// Overflow-only mass: everything above the last bound still reports
+	// quantiles clamped to the observed range.
+	over := NewHistogram([]float64{1})
+	over.Observe(50)
+	over.Observe(100)
+	if got := over.Quantile(1); got != 100 {
+		t.Fatalf("overflow p100 = %v, want 100", got)
+	}
+	if got := over.Quantile(0); got != 50 {
+		t.Fatalf("overflow p0 = %v, want 50", got)
+	}
+}
+
 // TestHistogramMinMaxClamp pins the small-sample behaviour: a single
 // observation reports itself exactly at every quantile.
 func TestHistogramMinMaxClamp(t *testing.T) {
@@ -230,27 +279,39 @@ func TestMetricsHooksFeedRegistry(t *testing.T) {
 	if snap.Gauges["train_loss"] != 0.5 || snap.Gauges["train_epochs_per_sec"] != 1 {
 		t.Fatalf("train gauges: %+v", snap.Gauges)
 	}
-	if snap.Counters["gen_merge_groups_total"] != 4 || snap.Counters["gen_merge_tuples_total"] != 10 {
+	if snap.Counters[`gen_merge_groups_total{table="t"}`] != 4 {
 		t.Fatalf("gen counters: %+v", snap.Counters)
 	}
-	if snap.Gauges["gen_weight_mass_after{t}"] != 100 {
+	if snap.Counters[`gen_tuples_total{phase="merge"}`] != 10 {
+		t.Fatalf("gen counters: %+v", snap.Counters)
+	}
+	if snap.Gauges[`gen_weight_mass{table="t",stage="after"}`] != 100 {
 		t.Fatalf("gen gauges: %+v", snap.Gauges)
 	}
 	if snap.Histograms["eval_qerror"].Count != 1 {
 		t.Fatalf("eval histograms: %+v", snap.Histograms)
 	}
+	h.GenProgress(GenProgress{Phase: "sample", Done: 50, Total: 100, Rate: 123})
+	snap = r.Snapshot()
+	if snap.Gauges["gen_tuples_per_sec"] != 123 || snap.Gauges["gen_progress_ratio"] != 0.5 {
+		t.Fatalf("progress gauges: %+v", snap.Gauges)
+	}
 }
 
-// TestServeDebug boots the debug server on an ephemeral port and fetches
-// /debug/vars, /debug/pprof/ and /metrics.
+// TestServeDebug boots the debug server on an ephemeral port, fetches
+// every endpoint, validates the Prometheus exposition parses, and checks
+// the close function actually drains the server.
 func TestServeDebug(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("boot").Inc()
-	addr, err := ServeDebug("127.0.0.1:0", r)
+	r.CounterVec("boot_labeled_total", "kind").With("a").Add(2)
+	ev := NewEventLog(8)
+	ev.Add("train_step", TrainStep{Step: 1})
+	addr, closeFn, err := ServeDebug("127.0.0.1:0", r, ev)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/metrics"} {
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/metrics", "/metrics.json", "/debug/events"} {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -259,5 +320,59 @@ func TestServeDebug(t *testing.T) {
 			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("/metrics content type = %q, want %q", ct, PromContentType)
+	}
+	fams, err := ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text: %v", err)
+	}
+	names := map[string]bool{}
+	for _, f := range fams {
+		names[f.Name] = true
+	}
+	if !names["boot"] || !names["boot_labeled_total"] {
+		t.Fatalf("exposition missing families: %v", names)
+	}
+
+	closeFn()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still reachable after close")
+	}
+}
+
+// resetPublished clears the process-wide expvar slot so the publish test
+// is independent of which test claimed it first.
+func resetPublished() {
+	publishMu.Lock()
+	published = nil
+	publishMu.Unlock()
+}
+
+// TestPublishExpvar pins the single-registry-per-process contract: the
+// first non-nil registry claims the slot, later registries are refused,
+// and nil never claims it.
+func TestPublishExpvar(t *testing.T) {
+	resetPublished()
+	defer resetPublished()
+	if PublishExpvar(nil) {
+		t.Fatal("nil registry claimed the expvar slot")
+	}
+	first := NewRegistry()
+	if !PublishExpvar(first) {
+		t.Fatal("first registry refused")
+	}
+	if !PublishExpvar(first) {
+		t.Fatal("republishing the same registry refused")
+	}
+	if PublishExpvar(NewRegistry()) {
+		t.Fatal("second registry accepted")
 	}
 }

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildPromRegistry populates a registry with every metric shape the
+// exposition has to render: plain and labeled counters/gauges/histograms,
+// awkward label values, and an empty histogram.
+func buildPromRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("jobs_total").Add(42)
+	r.Gauge("temperature").Set(-3.25)
+	h := r.Histogram("latency_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // overflow bucket
+	r.Histogram("empty_seconds", []float64{1, 2})
+
+	r.CounterVec("gen_tuples_total", "phase").With("sample").Add(100)
+	r.CounterVec("gen_tuples_total", "phase").With("merge").Add(7)
+	r.GaugeVec("gen_weight_mass", "table", "stage").With(`we"ird\ta
+ble`, "before").Set(1.5)
+	hv := r.HistogramVec("phase_seconds", []float64{0.1, 10}, "phase")
+	hv.With("sample").Observe(0.05)
+	hv.With("sample").Observe(3)
+	return r
+}
+
+// TestWritePrometheusRoundTrip renders a full registry and feeds the
+// bytes back through the strict parser — the same gate CI applies to a
+// live /metrics fetch.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := buildPromRegistry()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	fams, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse:\n%s\nerror: %v", text, err)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	if f := byName["jobs_total"]; f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != 42 {
+		t.Fatalf("jobs_total family: %+v", f)
+	}
+	if f := byName["temperature"]; f.Type != "gauge" || f.Samples[0].Value != -3.25 {
+		t.Fatalf("temperature family: %+v", f)
+	}
+
+	tuples := byName["gen_tuples_total"]
+	if tuples.Type != "counter" || len(tuples.Samples) != 2 {
+		t.Fatalf("gen_tuples_total family: %+v", tuples)
+	}
+	var sample, merge float64
+	for _, s := range tuples.Samples {
+		switch s.Label("phase") {
+		case "sample":
+			sample = s.Value
+		case "merge":
+			merge = s.Value
+		}
+	}
+	if sample != 100 || merge != 7 {
+		t.Fatalf("labeled counters: sample=%v merge=%v", sample, merge)
+	}
+
+	// The escaped label value must round-trip to the original string.
+	mass := byName["gen_weight_mass"]
+	if len(mass.Samples) != 1 || mass.Samples[0].Label("table") != "we\"ird\\ta\nble" {
+		t.Fatalf("escaped label round-trip: %+v", mass.Samples)
+	}
+
+	// Histogram shape: cumulative buckets, +Inf == _count, sum present.
+	lat := byName["latency_seconds"]
+	if lat.Type != "histogram" {
+		t.Fatalf("latency_seconds type = %s", lat.Type)
+	}
+	var cums []float64
+	var count, sum float64
+	for _, s := range lat.Samples {
+		switch s.Name {
+		case "latency_seconds_bucket":
+			cums = append(cums, s.Value)
+		case "latency_seconds_count":
+			count = s.Value
+		case "latency_seconds_sum":
+			sum = s.Value
+		}
+	}
+	want := []float64{1, 2, 3, 4} // cumulative over 4 observations, +Inf last
+	if len(cums) != len(want) {
+		t.Fatalf("bucket series %v, want %v", cums, want)
+	}
+	for i := range want {
+		if cums[i] != want[i] {
+			t.Fatalf("bucket series %v, want %v", cums, want)
+		}
+	}
+	if count != 4 || math.Abs(sum-5.555) > 1e-9 {
+		t.Fatalf("count=%v sum=%v", count, sum)
+	}
+
+	// The empty histogram still renders a complete, valid series.
+	if f := byName["empty_seconds"]; f.Type != "histogram" || len(f.Samples) != 5 {
+		t.Fatalf("empty histogram family: %+v", f)
+	}
+}
+
+// TestWritePrometheusDeterministic pins byte-identical output for
+// identical registry state.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, buildPromRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, buildPromRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("exposition not deterministic:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestSanitizeMetricName maps arbitrary registry names onto the
+// exposition charset.
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":     "ok_name",
+		"with-dash":   "with_dash",
+		"9leading":    "_leading",
+		"sp ace{x=1}": "sp_ace_x_1_",
+		"":            "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestParsePrometheusRejects covers the validator's failure modes so the
+// CI gate cannot pass vacuously.
+func TestParsePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           "1bad 3\n",
+		"bad value":          "m abc\n",
+		"unquoted label":     "m{l=x} 1\n",
+		"unterminated label": "m{l=\"x 1\n",
+		"bad type":           "# TYPE m widget\nm 1\n",
+		"duplicate type":     "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"hist no inf":        "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"hist count mismatch": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\n" +
+			"h_sum 1\nh_count 3\n",
+		"hist not cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"hist le not ascending": "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, text)
+		}
+	}
+
+	good := "# TYPE m counter\nm{l=\"a\"} 1 1700000000\nm{l=\"b\"} 2\n"
+	fams, err := ParsePrometheus(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 2 {
+		t.Fatalf("parsed families: %+v", fams)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// rateSlots is the ring resolution of a RateMeter: the window is split
+// into this many slots, so stale data ages out in window/rateSlots steps.
+const rateSlots = 16
+
+// RateMeter measures a rolling-window event rate (events/sec over the
+// last window). Add is cheap (one mutex, integer math) and safe for
+// concurrent use; a nil meter ignores Add and reports rate 0.
+type RateMeter struct {
+	mu     sync.Mutex
+	slot   time.Duration // window / rateSlots
+	counts [rateSlots]float64
+	slots  [rateSlots]int64 // absolute slot index each bucket holds
+	first  time.Time        // first Add, for short-run rate correction
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewRateMeter returns a meter over the given rolling window (e.g. 5s).
+// Windows shorter than rateSlots nanoseconds are rounded up.
+func NewRateMeter(window time.Duration) *RateMeter {
+	if window < rateSlots {
+		window = rateSlots
+	}
+	return &RateMeter{slot: window / rateSlots, now: time.Now}
+}
+
+// Add records n events now.
+func (m *RateMeter) Add(n float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	t := m.now()
+	if m.first.IsZero() {
+		m.first = t
+	}
+	idx := int64(t.UnixNano()) / int64(m.slot)
+	b := int(idx % rateSlots)
+	if m.slots[b] != idx {
+		m.slots[b] = idx
+		m.counts[b] = 0
+	}
+	m.counts[b] += n
+	m.mu.Unlock()
+}
+
+// Rate returns events/sec over the window (or over the elapsed time since
+// the first Add, when shorter — so early readings are not diluted by the
+// empty remainder of the window).
+func (m *RateMeter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.first.IsZero() {
+		return 0
+	}
+	t := m.now()
+	idx := int64(t.UnixNano()) / int64(m.slot)
+	var sum float64
+	for b := range m.counts {
+		if m.slots[b] > idx-rateSlots {
+			sum += m.counts[b]
+		}
+	}
+	span := time.Duration(rateSlots) * m.slot
+	if el := t.Sub(m.first); el < span {
+		span = el
+	}
+	if span < m.slot {
+		span = m.slot // avoid divide-by-~0 spikes on the first slot
+	}
+	return sum / span.Seconds()
+}
+
+// Progress tracks completed units against a known total, computing a
+// rolling rate and an ETA, with a built-in emission throttle so many
+// workers can share one tracker and only one of them reports at a time.
+// All methods are safe for concurrent use and no-ops on a nil tracker.
+type Progress struct {
+	total    int64
+	done     atomic.Int64
+	meter    *RateMeter
+	start    time.Time
+	lastEmit atomic.Int64 // UnixNano of the last granted ShouldEmit
+}
+
+// NewProgress returns a tracker for total units, measuring the rate over
+// the given rolling window.
+func NewProgress(total int64, window time.Duration) *Progress {
+	return &Progress{total: total, meter: NewRateMeter(window), start: time.Now()}
+}
+
+// Add records n completed units.
+func (p *Progress) Add(n int64) {
+	if p == nil {
+		return
+	}
+	p.done.Add(n)
+	p.meter.Add(float64(n))
+}
+
+// ShouldEmit reports whether at least minInterval has passed since the
+// last granted emission, claiming the slot atomically: of several
+// concurrent callers exactly one gets true.
+func (p *Progress) ShouldEmit(minInterval time.Duration) bool {
+	if p == nil {
+		return false
+	}
+	now := time.Now().UnixNano()
+	last := p.lastEmit.Load()
+	return now-last >= int64(minInterval) && p.lastEmit.CompareAndSwap(last, now)
+}
+
+// ProgressSnapshot is one observation of a Progress tracker.
+type ProgressSnapshot struct {
+	Done, Total int64
+	Rate        float64       // units/sec over the rolling window
+	ETA         time.Duration // 0 when unknown (no rate yet) or finished
+}
+
+// Snapshot returns the current progress, rate, and ETA. The ETA uses the
+// rolling rate, falling back to the overall average when the window is
+// empty.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	done := p.done.Load()
+	s := ProgressSnapshot{Done: done, Total: p.total, Rate: p.meter.Rate()}
+	remaining := p.total - done
+	if remaining <= 0 {
+		return s
+	}
+	rate := s.Rate
+	if rate <= 0 && done > 0 {
+		if el := time.Since(p.start); el > 0 {
+			rate = float64(done) / el.Seconds()
+		}
+	}
+	if rate > 0 {
+		s.ETA = time.Duration(float64(remaining) / rate * float64(time.Second))
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances manually so rate math is tested without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func newTestMeter(window time.Duration) (*RateMeter, *fakeClock) {
+	m := NewRateMeter(window)
+	c := newFakeClock()
+	m.now = c.now
+	return m, c
+}
+
+// TestRateMeterSteadyState feeds a constant rate and expects Rate to
+// report it once the window has data.
+func TestRateMeterSteadyState(t *testing.T) {
+	m, c := newTestMeter(16 * time.Second) // 1s slots
+	for i := 0; i < 32; i++ {
+		m.Add(10)
+		c.advance(time.Second)
+	}
+	got := m.Rate()
+	if got < 9 || got > 11 {
+		t.Fatalf("steady rate = %v, want ~10", got)
+	}
+}
+
+// TestRateMeterShortRunCorrection pins the early-reading behavior: after
+// one burst the rate divides by the elapsed time, not the whole window —
+// otherwise the first seconds of a run always under-report.
+func TestRateMeterShortRunCorrection(t *testing.T) {
+	m, c := newTestMeter(16 * time.Second)
+	m.Add(100)
+	c.advance(2 * time.Second)
+	m.Add(100)
+	got := m.Rate()
+	if got < 80 || got > 220 {
+		t.Fatalf("short-run rate = %v, want ~100 (200 events over ~2s)", got)
+	}
+}
+
+// TestRateMeterAgesOut checks old slots leave the window.
+func TestRateMeterAgesOut(t *testing.T) {
+	m, c := newTestMeter(16 * time.Second)
+	m.Add(1000)
+	c.advance(40 * time.Second) // far past the window
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("rate after window = %v, want 0", got)
+	}
+}
+
+// TestRateMeterEmpty returns 0 with no data.
+func TestRateMeterEmpty(t *testing.T) {
+	m, _ := newTestMeter(time.Second)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("empty rate = %v, want 0", got)
+	}
+}
+
+// TestProgressSnapshot drives a tracker and checks done/total, rate, and
+// a finite ETA; a finished tracker reports ETA 0.
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress(1000, time.Second)
+	c := newFakeClock()
+	p.meter.now = c.now
+	p.Add(250)
+	c.advance(500 * time.Millisecond)
+	p.Add(250)
+
+	s := p.Snapshot()
+	if s.Done != 500 || s.Total != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Rate <= 0 {
+		t.Fatalf("rate = %v, want > 0", s.Rate)
+	}
+	if s.ETA <= 0 {
+		t.Fatalf("ETA = %v, want > 0 with half the work left", s.ETA)
+	}
+
+	p.Add(500)
+	if s := p.Snapshot(); s.ETA != 0 {
+		t.Fatalf("finished ETA = %v, want 0", s.ETA)
+	}
+}
+
+// TestProgressShouldEmit pins the CAS throttle: the first caller wins,
+// immediate retries lose, and the slot reopens after the interval.
+func TestProgressShouldEmit(t *testing.T) {
+	p := NewProgress(10, time.Second)
+	if !p.ShouldEmit(time.Millisecond) {
+		t.Fatal("first ShouldEmit = false")
+	}
+	if p.ShouldEmit(time.Hour) {
+		t.Fatal("immediate second ShouldEmit = true")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if !p.ShouldEmit(time.Millisecond) {
+		t.Fatal("ShouldEmit after interval = false")
+	}
+}

@@ -220,6 +220,13 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	// Labeled families (see labels.go). Kept separate from the plain maps
+	// so exposition can render structured labels; the flat Snapshot view
+	// folds children in under rendered name{label="value"} keys.
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
@@ -316,8 +323,9 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot captures every metric's current value. A nil registry
-// snapshots as empty.
+// Snapshot captures every metric's current value, labeled children
+// included (folded in under rendered name{label="value"} keys). A nil
+// registry snapshots as empty.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
@@ -337,6 +345,27 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Snapshot()
+	}
+	for _, v := range r.counterVecs {
+		v.mu.RLock()
+		for key, c := range v.children {
+			s.Counters[renderLabels(v.name, v.labels, v.tuples[key].values)] = c.Value()
+		}
+		v.mu.RUnlock()
+	}
+	for _, v := range r.gaugeVecs {
+		v.mu.RLock()
+		for key, g := range v.children {
+			s.Gauges[renderLabels(v.name, v.labels, v.tuples[key].values)] = g.Value()
+		}
+		v.mu.RUnlock()
+	}
+	for _, v := range r.histogramVecs {
+		v.mu.RLock()
+		for key, h := range v.children {
+			s.Histograms[renderLabels(v.name, v.labels, v.tuples[key].values)] = h.Snapshot()
+		}
+		v.mu.RUnlock()
 	}
 	return s
 }

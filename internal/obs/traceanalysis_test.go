@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureTrace builds the span records of a two-phase run:
+//
+//	run (100ms, 10MiB)
+//	├── train (60ms, 6MiB)
+//	│   ├── epoch (20ms, 2MiB)
+//	│   └── epoch (20ms, 2MiB)
+//	└── generate (30ms, 3MiB)
+func fixtureTrace() []SpanRecord {
+	mib := uint64(1 << 20)
+	return []SpanRecord{
+		{ID: 1, Parent: 0, Name: "run", StartUS: 0, WallUS: 100_000, AllocBytes: 10 * mib},
+		{ID: 2, Parent: 1, Name: "train", StartUS: 1_000, WallUS: 60_000, AllocBytes: 6 * mib},
+		{ID: 3, Parent: 2, Name: "epoch", StartUS: 2_000, WallUS: 20_000, AllocBytes: 2 * mib},
+		{ID: 4, Parent: 2, Name: "epoch", StartUS: 22_000, WallUS: 20_000, AllocBytes: 2 * mib},
+		{ID: 5, Parent: 1, Name: "generate", StartUS: 65_000, WallUS: 30_000, AllocBytes: 3 * mib},
+	}
+}
+
+// TestAnalyzeTrace checks path aggregation, self-time subtraction, and
+// tree ordering.
+func TestAnalyzeTrace(t *testing.T) {
+	stats := AnalyzeTrace(fixtureTrace())
+	byPath := map[string]PathStat{}
+	for _, st := range stats {
+		byPath[st.Path] = st
+	}
+
+	run := byPath["run"]
+	if run.Count != 1 || run.WallUS != 100_000 {
+		t.Fatalf("run stat: %+v", run)
+	}
+	// run self = 100ms − (60ms train + 30ms generate) = 10ms.
+	if run.SelfUS != 10_000 {
+		t.Fatalf("run self = %dus, want 10000", run.SelfUS)
+	}
+	// The two epochs aggregate under one path.
+	ep := byPath["run/train/epoch"]
+	if ep.Count != 2 || ep.WallUS != 40_000 || ep.SelfUS != 40_000 {
+		t.Fatalf("epoch stat: %+v", ep)
+	}
+	// train self = 60ms − 40ms = 20ms; alloc self = 6MiB − 4MiB = 2MiB.
+	tr := byPath["run/train"]
+	if tr.SelfUS != 20_000 || tr.SelfAlloc != 2<<20 {
+		t.Fatalf("train stat: %+v", tr)
+	}
+	if tr.Depth != 1 || ep.Depth != 2 {
+		t.Fatalf("depths: train=%d epoch=%d", tr.Depth, ep.Depth)
+	}
+
+	// Tree order: parents before children, generate after train (starts later).
+	order := make([]string, len(stats))
+	for i, st := range stats {
+		order[i] = st.Path
+	}
+	want := []string{"run", "run/train", "run/train/epoch", "run/generate"}
+	if len(order) != len(want) {
+		t.Fatalf("paths = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("paths = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAnalyzeTraceNegativeSelfClamps pins the concurrent-children case:
+// when children overlap and their wall sum exceeds the parent's, self
+// time clamps at zero instead of going negative.
+func TestAnalyzeTraceNegativeSelfClamps(t *testing.T) {
+	recs := []SpanRecord{
+		{ID: 1, Parent: 0, Name: "run", WallUS: 10_000},
+		{ID: 2, Parent: 1, Name: "worker", StartUS: 0, WallUS: 9_000},
+		{ID: 3, Parent: 1, Name: "worker", StartUS: 0, WallUS: 9_000},
+	}
+	stats := AnalyzeTrace(recs)
+	for _, st := range stats {
+		if st.Path == "run" && st.SelfUS != 0 {
+			t.Fatalf("overlapping children: run self = %d, want 0", st.SelfUS)
+		}
+	}
+}
+
+// TestTopSpans checks ordering by self time.
+func TestTopSpans(t *testing.T) {
+	top := TopSpans(AnalyzeTrace(fixtureTrace()), 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d entries, want 2", len(top))
+	}
+	if top[0].Path != "run/train/epoch" || top[1].Path != "run/generate" {
+		t.Fatalf("top order: %s, %s", top[0].Path, top[1].Path)
+	}
+}
+
+// TestDiffTraces aligns a modified trace against the fixture and checks
+// deltas, ordering, and one-sided paths.
+func TestDiffTraces(t *testing.T) {
+	a := AnalyzeTrace(fixtureTrace())
+	b := fixtureTrace()
+	b[2].WallUS = 50_000 // first epoch 20ms → 50ms
+	b[2].AllocBytes = 5 << 20
+	b = append(b, SpanRecord{ID: 6, Parent: 1, Name: "eval", StartUS: 96_000, WallUS: 2_000})
+	deltas := DiffTraces(a, AnalyzeTrace(b))
+
+	byPath := map[string]PathDelta{}
+	for _, d := range deltas {
+		byPath[d.Path] = d
+	}
+	ep := byPath["run/train/epoch"]
+	if ep.DeltaUS() != 30_000 {
+		t.Fatalf("epoch Δwall = %d, want 30000", ep.DeltaUS())
+	}
+	if ep.DeltaAlloc() != 3<<20 {
+		t.Fatalf("epoch Δalloc = %d, want 3MiB", ep.DeltaAlloc())
+	}
+	if ev := byPath["run/eval"]; ev.OnlyIn != "b" || ev.WallA != 0 || ev.WallB != 2_000 {
+		t.Fatalf("eval delta: %+v", ev)
+	}
+	// Largest absolute wall delta first.
+	if deltas[0].Path != "run/train/epoch" {
+		t.Fatalf("first delta = %s, want run/train/epoch", deltas[0].Path)
+	}
+}
+
+// TestTraceWriters smoke-checks the renderers carry the key numbers.
+func TestTraceWriters(t *testing.T) {
+	stats := AnalyzeTrace(fixtureTrace())
+	var tree, top, diff strings.Builder
+	WriteTraceTree(&tree, stats)
+	for _, want := range []string{"run", "epoch", "2", "40ms"} {
+		if !strings.Contains(tree.String(), want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree.String())
+		}
+	}
+	WriteTopSpans(&top, stats, 3)
+	if !strings.Contains(top.String(), "run/train/epoch") {
+		t.Fatalf("top spans missing hottest path:\n%s", top.String())
+	}
+	WriteTraceDiff(&diff, DiffTraces(stats, stats))
+	if !strings.Contains(diff.String(), "+0s") {
+		t.Fatalf("self-diff should render zero deltas:\n%s", diff.String())
+	}
+}

@@ -93,8 +93,14 @@ type (
 	// GenPhase is the per-phase generation telemetry event (sample,
 	// weight, merge).
 	GenPhase = obs.GenPhase
+	// GenProgress is the throttled in-flight sampling progress event
+	// (done/total, rolling tuples/sec, ETA).
+	GenProgress = obs.GenProgress
 	// EvalQuery is the per-query evaluation telemetry event.
 	EvalQuery = obs.EvalQuery
+	// EventLog is a fixed-capacity ring of recent pipeline events, served
+	// at /debug/events by ServeDebug.
+	EventLog = obs.EventLog
 	// Trace is a per-run tree of phase spans (wall time + allocation
 	// deltas), serializable as JSONL.
 	Trace = obs.Trace
@@ -237,21 +243,38 @@ func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // MetricsHooks returns hooks that feed every telemetry event into the
-// registry (train_loss, train_step_seconds, gen_*_tuples_total,
-// eval_qerror, ...).
+// registry (train_loss, train_step_seconds, labeled gen_tuples_total and
+// gen_weight_mass families, eval_qerror, ...).
 func MetricsHooks(r *Registry) *Hooks { return obs.MetricsHooks(r) }
 
 // ProgressHooks returns hooks that stream human-readable progress (one
-// line per epoch, generation phase, and batch of evaluated queries) to w.
+// line per epoch with an ETA, throttled sampling progress with tuples/sec,
+// generation phases, and batches of evaluated queries) to w.
 func ProgressHooks(w io.Writer) *Hooks { return obs.ProgressHooks(w) }
 
 // MergeHooks fans every event out to all given hooks (nils are skipped).
 func MergeHooks(hooks ...*Hooks) *Hooks { return obs.Merge(hooks...) }
 
+// NewEventLog returns a ring buffer of the last capacity pipeline events;
+// pass it to ServeDebug to expose /debug/events and feed it with
+// EventLogHooks.
+func NewEventLog(capacity int) *EventLog { return obs.NewEventLog(capacity) }
+
+// EventLogHooks returns hooks that append every pipeline event to the ring.
+func EventLogHooks(l *EventLog) *Hooks { return obs.EventLogHooks(l) }
+
 // ServeDebug starts an HTTP server exposing /debug/pprof, /debug/vars
-// (expvar), and /metrics (the registry as JSON) on addr, returning the
-// bound address (useful with ":0").
-func ServeDebug(addr string, r *Registry) (string, error) { return obs.ServeDebug(addr, r) }
+// (expvar), /metrics (Prometheus text format), /metrics.json (the registry
+// snapshot as JSON), and — when ev is non-nil — /debug/events on addr. It
+// returns the bound address (useful with ":0") and a close function that
+// drains the server.
+func ServeDebug(addr string, r *Registry, ev *EventLog) (string, func(), error) {
+	return obs.ServeDebug(addr, r, ev)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (the same bytes /metrics serves).
+func WritePrometheus(w io.Writer, r *Registry) error { return obs.WritePrometheus(w, r) }
 
 // EvalWorkload executes each constraint's query against a database and
 // returns the Q-Errors versus the recorded cardinalities, streaming

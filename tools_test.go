@@ -1,11 +1,16 @@
 package sam_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"sam/internal/obs"
 )
@@ -127,5 +132,122 @@ func TestSambenchTraceSmoke(t *testing.T) {
 	root := recs[0]
 	if root.Attrs["seed"] == nil || root.Attrs["go_version"] == nil {
 		t.Fatalf("trace root missing run metadata attrs: %v", root.Attrs)
+	}
+
+	// samtrace must analyze the same trace: the tree view carries the
+	// pipeline phases, and diffing the trace against itself yields zero
+	// wall deltas — the CI smoke for the trace-analysis CLI.
+	samtrace := filepath.Join(dir, "samtrace")
+	if out, err := exec.Command("go", "build", "-o", samtrace, "./cmd/samtrace").CombinedOutput(); err != nil {
+		t.Fatalf("build samtrace: %v\n%s", err, out)
+	}
+	out, err = exec.Command(samtrace, "-top", "5", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("samtrace: %v\n%s", err, out)
+	}
+	for _, want := range []string{"span paths", "train", "sample", "top 5 by self time"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("samtrace output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = exec.Command(samtrace, "diff", tracePath, tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("samtrace diff: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Δwall") || !strings.Contains(string(out), "+0s") {
+		t.Fatalf("samtrace self-diff should report zero deltas:\n%s", out)
+	}
+}
+
+// TestSambenchPrometheusEndpoint is the exposition-format gate: it runs
+// the smoke experiment with a live -debug-addr, scrapes /metrics mid-run
+// the way a Prometheus server would, and fails unless the payload passes
+// the strict format validator and carries the expected labeled families.
+func TestSambenchPrometheusEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "sambench")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/sambench").CombinedOutput(); err != nil {
+		t.Fatalf("build sambench: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-scale", "smoke", "-exp", "tab1", "-debug-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	defer func() {
+		cmd.Process.Kill()
+		<-done
+	}()
+
+	// The bound address is announced on stderr before the run starts.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			addr = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("debug address never announced (scan err %v)", sc.Err())
+	}
+	go func() { // keep the pipe drained so the run cannot block on stderr
+		for sc.Scan() {
+		}
+	}()
+
+	// Scrape until the training families appear (the run needs a moment to
+	// emit its first events), validating the format on every fetch.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(addr + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+			t.Fatalf("/metrics content type = %q", got)
+		}
+		fams, err := obs.ParsePrometheus(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("live /metrics failed format validation: %v", err)
+		}
+		byName := map[string]obs.PromFamily{}
+		for _, f := range fams {
+			byName[f.Name] = f
+		}
+		if f, ok := byName["train_steps_total"]; ok && f.Type == "counter" && len(f.Samples) == 1 {
+			if h, ok := byName["train_step_seconds"]; !ok || h.Type != "histogram" {
+				t.Fatalf("train_step_seconds missing or not a histogram: %+v", h)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("train_steps_total never appeared; families: %d", len(fams))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The JSON snapshot and event ring ride on the same server.
+	for _, path := range []string{"/metrics.json", "/debug/events"} {
+		resp, err := http.Get(addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+			t.Fatalf("GET %s: status %d, valid JSON %v", path, resp.StatusCode, json.Valid(body))
+		}
 	}
 }
