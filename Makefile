@@ -7,7 +7,19 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet staticcheck samlint vuln bench-gate
+# Scale-gate knobs: CI runs the smoke size; the weekly scale workflow and
+# local baseline refreshes override SCALE_ROWS (the committed
+# BENCH_scale.json is a 1M-row run). The floors are deliberately loose —
+# ~8x below measured rows/sec, ~10x above measured peak RSS — so they only
+# trip on structural regressions (quadratic merge, samples held resident),
+# not runner noise.
+SCALE_ROWS ?= 200000
+SCALE_OUT ?= BENCH_scale.json
+SCALE_MIN_RPS ?= 20000
+SCALE_MAX_MEM ?= 256
+
+.PHONY: all build test race lint fmt vet staticcheck samlint vuln bench-gate \
+	scale-bench scale-gate trace-smoke
 
 all: build test
 
@@ -53,3 +65,27 @@ bench-gate:
 		-current /tmp/bench_current.json \
 		-tol 1.0 \
 		-min sample_batched=6,sample_batched_workers=4
+
+## scale-bench measures sharded streaming generation end to end at
+## SCALE_ROWS rows and writes the report to SCALE_OUT; refresh the
+## committed baseline with `make scale-bench SCALE_ROWS=1000000`.
+scale-bench:
+	$(GO) build -o /tmp/sambench_scale ./cmd/sambench
+	/tmp/sambench_scale -scalebench $(SCALE_OUT) -scalerows $(SCALE_ROWS)
+
+## scale-gate measures and then fails if throughput drops below
+## SCALE_MIN_RPS rows/sec or peak heap/RSS exceeds SCALE_MAX_MEM MiB.
+scale-gate: scale-bench
+	$(GO) run ./cmd/benchgate \
+		-scale $(SCALE_OUT) \
+		-scale-min-rps $(SCALE_MIN_RPS) \
+		-scale-max-mem $(SCALE_MAX_MEM)
+
+## trace-smoke runs a real smoke-scale pipeline with tracing and live
+## metrics enabled and checks every observability surface end to end;
+## CI's "Trace and metrics smoke" step is exactly this target.
+trace-smoke:
+	$(GO) run ./cmd/sambench -scale smoke -exp tab1 -trace trace.jsonl -progress
+	$(GO) run ./cmd/samtrace -top 5 trace.jsonl
+	$(GO) run ./cmd/samtrace diff trace.jsonl trace.jsonl
+	$(GO) test -run 'TestSambenchTraceSmoke|TestSambenchPrometheusEndpoint' -v .

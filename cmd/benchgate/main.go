@@ -1,10 +1,12 @@
-// Command benchgate compares a fresh tensorbench report against a
-// committed baseline and exits nonzero when the hot paths regressed. CI
-// runs it after `sambench -tensorbench` to turn the benchmark JSON into a
-// pass/fail gate:
+// Command benchgate turns committed benchmark JSON into pass/fail CI
+// gates. It checks a fresh tensorbench report against a committed baseline
+// and, optionally, a scalebench report against absolute floors, reporting
+// EVERY violation before exiting nonzero — a run with three regressions
+// prints three lines, not one:
 //
 //	benchgate -baseline BENCH_tensor.json -current /tmp/bench.json \
-//	          -tol 0.25 -min sample_batched=6,sample_batched_workers=4
+//	          -tol 0.25 -min sample_batched=6,sample_batched_workers=4 \
+//	          -scale /tmp/scale.json -scale-min-rps 20000 -scale-max-mem 768
 //
 // -tol bounds the allowed ns/op regression per benchmark (0.25 = +25%);
 // allocation growth always fails. -min names speedup-ratio floors, e.g.
@@ -13,6 +15,13 @@
 // ratio, unlike raw ns/op — and sample_batched_workers=4 gates the
 // worker×lane composition, whose ratio sits below the single-worker one on
 // single-core hosts (scheduling overhead, no scaling win).
+//
+// -scale gates a `sambench -scalebench` report: -scale-min-rps is the
+// end-to-end generated rows/sec floor and -scale-max-mem (MiB) caps both
+// the peak Go heap and the process VmHWM, the evidence that streaming
+// generation stays bounded-memory at scale. Unreadable report files are
+// themselves violations, not fatal errors, so one broken artifact cannot
+// mask the other gate's result.
 package main
 
 import (
@@ -28,12 +37,24 @@ import (
 	"sam/internal/obs"
 )
 
-func readReport(path string) (*experiments.TensorBenchReport, error) {
+func readTensorReport(path string) (*experiments.TensorBenchReport, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var rep experiments.TensorBenchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func readScaleReport(path string) (*experiments.ScaleBenchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.ScaleBenchReport
 	if err := json.Unmarshal(buf, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -62,9 +83,12 @@ func parseMin(spec string) (map[string]float64, error) {
 func main() {
 	log.SetFlags(0)
 	baselinePath := flag.String("baseline", "BENCH_tensor.json", "committed baseline report")
-	currentPath := flag.String("current", "", "freshly measured report to gate (required)")
+	currentPath := flag.String("current", "", "freshly measured tensor report to gate")
 	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression per benchmark")
 	minSpec := flag.String("min", "", "comma-separated speedup floors, e.g. sample_batched=3")
+	scalePath := flag.String("scale", "", "scalebench report to gate (optional)")
+	scaleMinRPS := flag.Float64("scale-min-rps", 0, "minimum end-to-end generated rows/sec for -scale (0 disables)")
+	scaleMaxMem := flag.Int64("scale-max-mem", 0, "maximum peak heap/RSS in MiB for -scale (0 disables)")
 	version := flag.Bool("version", false, "print build metadata and exit")
 	flag.Parse()
 
@@ -73,30 +97,49 @@ func main() {
 		return
 	}
 
-	if *currentPath == "" {
-		log.Fatal("benchgate: -current is required")
-	}
-	baseline, err := readReport(*baselinePath)
-	if err != nil {
-		log.Fatalf("benchgate: %v", err)
-	}
-	current, err := readReport(*currentPath)
-	if err != nil {
-		log.Fatalf("benchgate: %v", err)
-	}
-	minSpeedup, err := parseMin(*minSpec)
-	if err != nil {
-		log.Fatalf("benchgate: %v", err)
+	if *currentPath == "" && *scalePath == "" {
+		log.Fatal("benchgate: nothing to gate; pass -current and/or -scale")
 	}
 
-	violations := experiments.CompareBench(baseline, current, *tol, minSpeedup)
+	// Collect every violation across every requested gate before deciding
+	// the exit code, so a single CI run surfaces the full damage report.
+	var violations []string
+	checked := 0
+
+	if *currentPath != "" {
+		baseline, berr := readTensorReport(*baselinePath)
+		current, cerr := readTensorReport(*currentPath)
+		minSpeedup, merr := parseMin(*minSpec)
+		switch {
+		case berr != nil:
+			violations = append(violations, fmt.Sprintf("tensor: unreadable baseline: %v", berr))
+		case cerr != nil:
+			violations = append(violations, fmt.Sprintf("tensor: unreadable current report: %v", cerr))
+		case merr != nil:
+			violations = append(violations, fmt.Sprintf("tensor: %v", merr))
+		default:
+			violations = append(violations, experiments.CompareBench(baseline, current, *tol, minSpeedup)...)
+			checked += len(baseline.Results)
+		}
+	}
+
+	if *scalePath != "" {
+		rep, err := readScaleReport(*scalePath)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("scale: unreadable report: %v", err))
+		} else {
+			violations = append(violations, experiments.CompareScale(rep, *scaleMinRPS, *scaleMaxMem<<20)...)
+			checked++
+		}
+	}
+
 	if len(violations) == 0 {
-		fmt.Printf("benchgate: %d benchmarks within tolerance %.0f%%\n",
-			len(baseline.Results), *tol*100)
+		fmt.Printf("benchgate: %d checks within bounds (tolerance %.0f%%)\n", checked, *tol*100)
 		return
 	}
 	for _, v := range violations {
 		fmt.Fprintln(os.Stderr, "benchgate: FAIL "+v)
 	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d violation(s)\n", len(violations))
 	os.Exit(1)
 }

@@ -7,6 +7,8 @@
 //	sambench [-scale smoke|quick|full] [-exp all|tab1..tab9|fig5..fig8] [-seed N] [-v]
 //	         [-trace out.jsonl] [-progress] [-debug-addr :6060]
 //	sambench -tensorbench BENCH_tensor.json
+//	sambench -scalebench BENCH_scale.json [-scalerows N] [-scaleshards N] \
+//	         [-scaleworkers N] [-scalepartitions N] [-scaledir DIR]
 //
 // Experiments share trained models and generated databases within one
 // invocation, so running -exp all is much cheaper than running each
@@ -25,6 +27,11 @@
 // tensor hot paths (dense matmul, MADE training forward+backward, sampling
 // forward, full train step), writing JSON with the current numbers next to
 // the pre-overhaul baselines.
+//
+// -scalebench runs the sharded streaming-generation pipeline end to end at
+// -scalerows rows and writes throughput plus peak-memory watermarks as
+// JSON; benchgate turns that report into the CI scale gate (rows/sec floor
+// and peak-memory ceiling).
 package main
 
 import (
@@ -47,6 +54,12 @@ func main() {
 	batch := flag.Int("batch", -1, "ancestral-sampling lanes per generation worker (-1 keeps the scale default, <=1 samples one tuple at a time)")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	tensorBench := flag.String("tensorbench", "", "write tensor hot-path benchmark JSON to this file and exit")
+	scaleBench := flag.String("scalebench", "", "write sharded streaming-generation scale benchmark JSON to this file and exit")
+	scaleRows := flag.Int("scalerows", 1_000_000, "rows to generate for -scalebench")
+	scaleShards := flag.Int("scaleshards", 0, "sample shards for -scalebench (0 = auto)")
+	scaleWorkers := flag.Int("scaleworkers", 0, "sampling workers for -scalebench (0 = GOMAXPROCS)")
+	scalePartitions := flag.Int("scalepartitions", 0, "spill partitions for -scalebench (0 = 64)")
+	scaleDir := flag.String("scaledir", "", "scratch directory for -scalebench shards and spill files (default: a temp dir)")
 	traceOut := flag.String("trace", "", "write the run's phase trace (JSONL spans) to this file")
 	progress := flag.Bool("progress", false, "stream per-epoch training and per-phase generation progress to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
@@ -65,6 +78,33 @@ func main() {
 			fmt.Printf("%-24s %9d ns/op (%.2fx vs seed)  %d allocs/op (seed %d)\n",
 				r.Name, r.NsOp, r.Speedup, r.AllocsOp, r.BeforeAllocsOp)
 		}
+		return
+	}
+
+	if *scaleBench != "" {
+		rep, err := experiments.RunScaleBench(experiments.ScaleBenchConfig{
+			Rows:       *scaleRows,
+			Shards:     *scaleShards,
+			Workers:    *scaleWorkers,
+			Batch:      *batch,
+			Partitions: *scalePartitions,
+			Dir:        *scaleDir,
+			Seed:       *seed,
+		})
+		if err != nil {
+			log.Fatalf("scalebench: %v", err)
+		}
+		buf, err := rep.JSON()
+		if err != nil {
+			log.Fatalf("scalebench: %v", err)
+		}
+		if err := os.WriteFile(*scaleBench, buf, 0o644); err != nil {
+			log.Fatalf("scalebench: %v", err)
+		}
+		fmt.Printf("scalebench: %d rows in %dms (%.0f rows/sec end-to-end, %.0f sampling) across %d shards\n",
+			rep.Rows, rep.TotalWallMs, rep.RowsPerSec, rep.SampleRowsPerSec, rep.Shards)
+		fmt.Printf("scalebench: peak heap %.1f MiB, peak RSS %.1f MiB, shard bytes %.1f MiB\n",
+			float64(rep.PeakHeapBytes)/(1<<20), float64(rep.PeakRSSBytes)/(1<<20), float64(rep.ShardBytes)/(1<<20))
 		return
 	}
 

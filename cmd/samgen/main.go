@@ -7,10 +7,17 @@
 //
 //	samgen -workload workload.json -schema schema.json -outdir gen/ \
 //	       [-population N] [-epochs N] [-hidden N] [-samples N] [-seed N] [-no-gam] \
+//	       [-stream] [-shards N] [-workers N] [-partitions N] [-keep-samples] \
 //	       [-trace out.jsonl] [-progress] [-debug-addr :6060]
 //
 // -population is required for multi-relation schemas (the full outer join
 // size, printed by workloadgen).
+//
+// -stream removes the in-memory row-count ceiling: sampling is sharded
+// into independently reproducible (seed, shard) units under outdir/shards
+// and tables are merged and written through bounded-memory spill files, so
+// peak memory no longer grows with -samples. -workers parallelizes across
+// shards without changing a single output byte.
 //
 // -trace records the pipeline's phase tree (train/sample/weight/merge
 // spans with wall time and allocation deltas) as JSONL and prints its
@@ -42,6 +49,12 @@ func main() {
 	wlPath := flag.String("workload", "workload.json", "labeled workload (JSON)")
 	schemaPath := flag.String("schema", "schema.json", "schema metadata (JSON)")
 	outDir := flag.String("outdir", "generated", "output directory for CSVs")
+	flag.StringVar(outDir, "out-dir", "generated", "alias for -outdir")
+	stream := flag.Bool("stream", false, "bounded-memory generation: shard the sampler and stream tables to disk (removes the in-memory row-count ceiling)")
+	shards := flag.Int("shards", 0, "sample shards for -stream (0 = one per 256Ki rows); each shard is independently reproducible from (seed, shard)")
+	workers := flag.Int("workers", 0, "sampling goroutines (0 = GOMAXPROCS); with -stream, workers parallelize across shards without changing output bytes")
+	partitions := flag.Int("partitions", 0, "spill partitions for the external group-and-merge (0 = 64)")
+	keepSamples := flag.Bool("keep-samples", false, "keep the binary sample shards under outdir/shards after -stream generation")
 	population := flag.Float64("population", 0, "full outer join size (multi-relation only; single-relation defaults to |T|)")
 	epochs := flag.Int("epochs", 6, "training epochs")
 	hidden := flag.Int("hidden", 64, "hidden width of the MADE backbone")
@@ -102,7 +115,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		generateAndWrite(model, sspec.Sizes(), *outDir, *samples, *batch, *seed, !*noGam, tel)
+		generateAndWrite(model, sspec.Sizes(), genConfig{
+			outDir: *outDir, samples: *samples, batch: *batch, seed: *seed,
+			gam: !*noGam, stream: *stream, shards: *shards, workers: *workers,
+			partitions: *partitions, keepSamples: *keepSamples,
+		}, tel)
 		return
 	}
 
@@ -176,7 +193,11 @@ func main() {
 		log.Printf("saved model to %s", *savePath)
 	}
 
-	generateAndWrite(model, sizes, *outDir, *samples, *batch, *seed, !*noGam, tel)
+	generateAndWrite(model, sizes, genConfig{
+		outDir: *outDir, samples: *samples, batch: *batch, seed: *seed,
+		gam: !*noGam, stream: *stream, shards: *shards, workers: *workers,
+		partitions: *partitions, keepSamples: *keepSamples,
+	}, tel)
 }
 
 // telemetry bundles the optional observer state the flags configured.
@@ -209,16 +230,55 @@ func (tel telemetry) flush() {
 	log.Printf("trace written to %s", tel.traceOut)
 }
 
-// generateAndWrite runs the generation phase and writes one CSV per table.
-func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samples, batch int, seed int64, gam bool, tel telemetry) {
+// genConfig bundles the generation-phase flag settings.
+type genConfig struct {
+	outDir      string
+	samples     int
+	batch       int
+	seed        int64
+	gam         bool
+	stream      bool
+	shards      int
+	workers     int
+	partitions  int
+	keepSamples bool
+}
+
+// generateAndWrite runs the generation phase and writes one CSV per table —
+// in memory by default, or via the sharded streaming pipeline with -stream.
+func generateAndWrite(model *ar.Model, sizes map[string]int, cfg genConfig, tel telemetry) {
 	gen, err := core.FromModel(model, sizes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.DefaultGenOptions(seed + 1)
-	opts.Samples = samples
-	opts.GroupAndMerge = gam
-	opts.Batch = batch
+	if cfg.stream {
+		opts := core.DefaultStreamOptions(cfg.seed+1, cfg.outDir)
+		opts.Samples = cfg.samples
+		opts.GroupAndMerge = cfg.gam
+		opts.Batch = cfg.batch
+		opts.Workers = cfg.workers
+		opts.Shards = cfg.shards
+		opts.Partitions = cfg.partitions
+		opts.KeepSamples = cfg.keepSamples
+		opts.Hooks = tel.hooks
+		opts.Span = tel.trace.Root()
+		start := time.Now()
+		res, err := gen.GenerateStream(core.ModelSampler(model, opts.Batch), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("generated database in %v (%d samples, streamed)", time.Since(start).Round(time.Millisecond), res.Samples)
+		for _, t := range gen.Layout.Schema.Tables {
+			log.Printf("wrote %s (%d rows, %d merge groups)", res.CSVPaths[t.Name], res.Rows[t.Name], res.Groups[t.Name])
+		}
+		tel.flush()
+		return
+	}
+	opts := core.DefaultGenOptions(cfg.seed + 1)
+	opts.Samples = cfg.samples
+	opts.GroupAndMerge = cfg.gam
+	opts.Batch = cfg.batch
+	opts.Workers = cfg.workers
 	opts.Hooks = tel.hooks
 	opts.Span = tel.trace.Root()
 	start := time.Now()
@@ -228,11 +288,11 @@ func generateAndWrite(model *ar.Model, sizes map[string]int, outDir string, samp
 	}
 	log.Printf("generated database in %v", time.Since(start).Round(time.Millisecond))
 
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
+	if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
 	for _, t := range db.Tables {
-		path := filepath.Join(outDir, t.Name+".csv")
+		path := filepath.Join(cfg.outDir, t.Name+".csv")
 		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)

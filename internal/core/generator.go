@@ -228,7 +228,7 @@ func (g *Generator) drawSamples(newSampler func() join.TupleSampler, k int, opts
 			}
 			w, lo, hi := tasks[t].w, tasks[t].lo, tasks[t].hi
 			for l := range rngs {
-				rngs[l].Seed(opts.Seed + int64(w*batch+l)*7919)
+				rngs[l].Seed(ar.LaneSeed(opts.Seed, w*batch+l))
 			}
 			if okBatch {
 				usedBatchKernel.Store(true)

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sam/internal/datagen"
+	"sam/internal/engine"
+	"sam/internal/join"
+	"sam/internal/metrics"
+	"sam/internal/relation"
+	"sam/internal/workload"
+)
+
+// readBack loads the CSVs a streaming run produced into an empty copy of
+// the original schema shape.
+func readBack(t *testing.T, orig *relation.Schema, res *StreamResult) *relation.Schema {
+	t.Helper()
+	shell, err := orig.Spec().EmptySchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range shell.Tables {
+		f, err := os.Open(res.CSVPaths[tab.Name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.ReadCSV(f); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return shell
+}
+
+func fileBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardBytesInvariantAcrossWorkers is the golden determinism test for
+// the sharded sampler: for a fixed (seed, shard, batch, shard count) the
+// shard files are bit-identical whether sampled by 1, 2, or 4 workers, and
+// whether produced by a full run or by regenerating a single shard.
+func TestShardBytesInvariantAcrossWorkers(t *testing.T) {
+	orig := datagen.IMDB(11, 120)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4000
+	newSampler := func() join.TupleSampler { return o }
+
+	var golden [][]byte
+	for _, workers := range []int{1, 2, 4} {
+		opts := DefaultStreamOptions(42, t.TempDir())
+		opts.Shards = 4
+		opts.Workers = workers
+		opts.ChunkRows = 100 + workers*37 // chunking must not affect bytes either
+		set, err := gen.SampleShards(newSampler, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Total != k || len(set.Paths) != 4 {
+			t.Fatalf("set total %d shards %d", set.Total, len(set.Paths))
+		}
+		var cur [][]byte
+		for _, p := range set.Paths {
+			cur = append(cur, fileBytes(t, p))
+		}
+		if golden == nil {
+			golden = cur
+			continue
+		}
+		for s := range golden {
+			if string(golden[s]) != string(cur[s]) {
+				t.Fatalf("shard %d bytes differ between workers=1 and workers=%d", s, workers)
+			}
+		}
+	}
+
+	// Regenerating one shard in isolation reproduces the same bytes.
+	opts := DefaultStreamOptions(42, t.TempDir())
+	opts.Shards = 4
+	dir := filepath.Join(opts.OutDir, "solo")
+	path, rows, err := gen.SampleShard(newSampler, k, 2, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != k/4 {
+		t.Fatalf("shard 2 rows %d want %d", rows, k/4)
+	}
+	if string(fileBytes(t, path)) != string(golden[2]) {
+		t.Fatal("regenerated shard 2 differs from the full run's shard 2")
+	}
+}
+
+// TestShardSeedsDivergeAcrossShards guards the seed-splitting: different
+// shards of the same run must not replay the same rng streams.
+func TestShardSeedsDivergeAcrossShards(t *testing.T) {
+	orig := datagen.IMDB(3, 80)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultStreamOptions(7, t.TempDir())
+	opts.Shards = 2
+	set, err := gen.SampleShards(func() join.TupleSampler { return o }, 2000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fileBytes(t, set.Paths[0])
+	b := fileBytes(t, set.Paths[1])
+	if string(a[relation.ShardHeaderSize:]) == string(b[relation.ShardHeaderSize:]) {
+		t.Fatal("shards 0 and 1 drew identical rows: per-shard seed split is broken")
+	}
+}
+
+// TestStreamingExactRecovery mirrors TestExactRecoveryFromEnumeratedFOJ
+// through the external-memory path: the enumerated FOJ written as shards
+// and merged with spill files must recover the worked example exactly.
+func TestStreamingExactRecovery(t *testing.T) {
+	s := paperSchema()
+	l := join.NewLayout(s)
+	o := join.NewOracle(l)
+	flat := o.EnumerateFOJ()
+	ncols := l.NumCols()
+	k := len(flat) / ncols
+
+	// Write the enumerated samples as two shard files.
+	dir := t.TempDir()
+	shardDir := filepath.Join(dir, "shards")
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	half := (k / 2) * ncols
+	for shard, part := range [][]int32{flat[:half], flat[half:]} {
+		w, err := relation.CreateShardFile(shardDir, shard, ncols, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteRows(part); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set, err := OpenShardSet(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Total != k {
+		t.Fatalf("reopened shard set holds %d rows want %d", set.Total, k)
+	}
+
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultStreamOptions(1, dir)
+	opts.Partitions = 3 // force multi-partition grouping even at toy scale
+	res, err := gen.MaterializeStream(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := readBack(t, s, res)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range s.Tables {
+		if got := out.Table(tab.Name).NumRows(); got != tab.NumRows() {
+			t.Fatalf("table %s: %d rows want %d", tab.Name, got, tab.NumRows())
+		}
+	}
+	if got, want := engine.FOJSize(out), engine.FOJSize(s); got != want {
+		t.Fatalf("FOJ size %d want %d", got, want)
+	}
+	queries := []workload.Query{
+		{Tables: []string{"A"}, Preds: []workload.Predicate{{Table: "A", Column: "a", Op: workload.EQ, Code: 0}}},
+		{Tables: []string{"B"}, Preds: []workload.Predicate{{Table: "B", Column: "b", Op: workload.GE, Code: 1}}},
+		{Tables: []string{"C"}, Preds: []workload.Predicate{{Table: "C", Column: "c", Op: workload.EQ, Code: 0}}},
+		{Tables: []string{"A", "B"}, Preds: []workload.Predicate{{Table: "A", Column: "a", Op: workload.EQ, Code: 1}}},
+		{Tables: []string{"A", "C"}, Preds: []workload.Predicate{{Table: "C", Column: "c", Op: workload.EQ, Code: 1}}},
+		{Tables: []string{"A", "B", "C"}, Preds: nil},
+		{Tables: []string{"A", "B", "C"}, Preds: []workload.Predicate{
+			{Table: "A", Column: "a", Op: workload.EQ, Code: 0},
+			{Table: "B", Column: "b", Op: workload.LE, Code: 1},
+		}},
+	}
+	for qi, q := range queries {
+		if got, want := engine.Card(out, &q), engine.Card(s, &q); got != want {
+			t.Fatalf("query %d: cardinality %d want %d", qi, got, want)
+		}
+	}
+}
+
+// TestGenerateStreamDeepChain runs the full streaming pipeline on the
+// TPC-H style two-level chain: FK integrity must hold across both levels
+// and 3-way join cardinalities must be preserved, matching the in-memory
+// path's bar.
+func TestGenerateStreamDeepChain(t *testing.T) {
+	orig := datagen.TPCH(3, 300)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultStreamOptions(7, t.TempDir())
+	opts.Samples = 40000
+	opts.Shards = 3
+	opts.Partitions = 8
+	res, err := gen.GenerateStream(func() join.TupleSampler { return o }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 40000 {
+		t.Fatalf("consumed %d samples", res.Samples)
+	}
+	if _, err := os.Stat(filepath.Join(opts.OutDir, "shards")); !os.IsNotExist(err) {
+		t.Fatal("shard files not removed after generation")
+	}
+	if _, err := os.Stat(filepath.Join(opts.OutDir, ".spill")); !os.IsNotExist(err) {
+		t.Fatal("spill dir not removed after generation")
+	}
+	out := readBack(t, orig, res)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	custKeys := map[int64]bool{}
+	cust := out.Table("customer")
+	for i := 0; i < cust.NumRows(); i++ {
+		custKeys[cust.PK(i)] = true
+	}
+	ord := out.Table("orders")
+	ordKeys := map[int64]bool{}
+	for i := 0; i < ord.NumRows(); i++ {
+		ordKeys[ord.PK(i)] = true
+		if !custKeys[ord.FK[i]] {
+			t.Fatalf("orders row %d has dangling customer key", i)
+		}
+	}
+	li := out.Table("lineitem")
+	if li.NumRows() != orig.Table("lineitem").NumRows() {
+		t.Fatalf("lineitem rows %d want %d", li.NumRows(), orig.Table("lineitem").NumRows())
+	}
+	for i := 0; i < li.NumRows(); i++ {
+		if !ordKeys[li.FK[i]] {
+			t.Fatalf("lineitem row %d has dangling order key", i)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	var qerrs []float64
+	for trial := 0; trial < 60; trial++ {
+		q := workload.Query{
+			Tables: []string{"customer", "orders", "lineitem"},
+			Preds: []workload.Predicate{
+				{Table: "customer", Column: "mktsegment", Op: workload.LE, Code: int32(rng.Intn(5))},
+				{Table: "orders", Column: "orderpriority", Op: workload.LE, Code: int32(rng.Intn(5))},
+				{Table: "lineitem", Column: "quantity", Op: workload.GE, Code: int32(rng.Intn(50))},
+			},
+		}
+		truth := engine.Card(orig, &q)
+		if truth == 0 {
+			continue
+		}
+		got := engine.Card(out, &q)
+		qerrs = append(qerrs, metrics.QError(float64(got), float64(truth)))
+	}
+	sum := metrics.Summarize(qerrs)
+	if sum.Median > 2.0 {
+		t.Fatalf("streamed deep-chain median Q-Error %.2f (%v)", sum.Median, sum)
+	}
+}
+
+// TestGenerateStreamDeterministicAcrossWorkers pins the generalized
+// contract end to end: the full streaming pipeline emits byte-identical
+// CSVs for a fixed (seed, shards, batch, partitions) no matter the worker
+// count.
+func TestGenerateStreamDeterministicAcrossWorkers(t *testing.T) {
+	orig := datagen.IMDB(15, 100)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden map[string][]byte
+	for _, workers := range []int{1, 3} {
+		opts := DefaultStreamOptions(77, t.TempDir())
+		opts.Samples = 6000
+		opts.Shards = 4
+		opts.Workers = workers
+		opts.Partitions = 5
+		res, err := gen.GenerateStream(func() join.TupleSampler { return o }, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := map[string][]byte{}
+		for name, path := range res.CSVPaths {
+			cur[name] = fileBytes(t, path)
+		}
+		if golden == nil {
+			golden = cur
+			continue
+		}
+		for name := range golden {
+			if string(golden[name]) != string(cur[name]) {
+				t.Fatalf("table %s CSV differs between workers=1 and workers=%d", name, workers)
+			}
+		}
+	}
+}
+
+// TestStreamingMatchesInMemorySizes checks the two Group-and-Merge
+// implementations agree on the aggregate shape: identical row counts per
+// table from the same pre-drawn samples.
+func TestStreamingMatchesInMemorySizes(t *testing.T) {
+	orig := datagen.IMDB(9, 150)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8000
+	memOpts := DefaultGenOptions(5)
+	memOpts.Samples = k
+	flat := gen.DrawSamples(func() join.TupleSampler { return o }, k, memOpts)
+	mem, err := gen.Materialize(flat, memOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	shardDir := filepath.Join(dir, "shards")
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	w, err := relation.CreateShardFile(shardDir, 0, l.NumCols(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRows(flat); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := OpenShardSet(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gen.MaterializeStream(set, DefaultStreamOptions(5, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range mem.Tables {
+		if got := res.Rows[tab.Name]; got != tab.NumRows() {
+			t.Fatalf("table %s: streamed %d rows, in-memory %d", tab.Name, got, tab.NumRows())
+		}
+	}
+}
+
+// TestStreamingSingleTable covers the leaf-root path (no parent, no
+// children): a single-relation schema streams to exactly |T| rows.
+func TestStreamingSingleTable(t *testing.T) {
+	orig := datagen.Census(3, 500)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultStreamOptions(9, t.TempDir())
+	opts.Samples = 3000
+	res, err := gen.GenerateStream(func() join.TupleSampler { return o }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := orig.Tables[0].Name
+	if res.Rows[name] != orig.Tables[0].NumRows() {
+		t.Fatalf("rows %d want %d", res.Rows[name], orig.Tables[0].NumRows())
+	}
+	out := readBack(t, orig, res)
+	if out.Table(name).NumRows() != orig.Tables[0].NumRows() {
+		t.Fatal("csv row count mismatch")
+	}
+}
+
+// TestSysAllocMatchesSystematicCounts pins the streaming allocator (with
+// the one-group delay and leftover fold) to the batch systematicCounts it
+// replaces.
+func TestSysAllocMatchesSystematicCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = math.Abs(rng.NormFloat64()) * 3
+		}
+		total := 1 + rng.Intn(100)
+		want := systematicCounts(weights, total)
+
+		alloc := newSysAlloc(sumOf(weights), total)
+		got := make([]int, n)
+		last := -1
+		for i, w := range weights {
+			got[i] = alloc.next(w)
+			if w > 0 {
+				last = i
+			}
+		}
+		if last >= 0 {
+			got[last] += alloc.leftover()
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: streaming %v batch %v (weights %v total %d)", trial, got, want, weights, total)
+			}
+		}
+	}
+}
+
+func sumOf(ws []float64) float64 {
+	var s float64
+	for _, w := range ws {
+		if w > 0 {
+			s += w
+		}
+	}
+	return s
+}
+
+// TestKeepSamplesRetainsShards checks the KeepSamples escape hatch and
+// that OpenShardSet can re-merge the retained shards.
+func TestKeepSamplesRetainsShards(t *testing.T) {
+	orig := datagen.IMDB(5, 80)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultStreamOptions(3, t.TempDir())
+	opts.Samples = 2000
+	opts.Shards = 2
+	opts.KeepSamples = true
+	res, err := gen.GenerateStream(func() join.TupleSampler { return o }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := OpenShardSet(filepath.Join(opts.OutDir, "shards"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Total != 2000 || len(set.Paths) != 2 {
+		t.Fatalf("reopened set total %d shards %d", set.Total, len(set.Paths))
+	}
+	// Re-merging the same shards reproduces the same tables.
+	dir2 := t.TempDir()
+	opts2 := DefaultStreamOptions(3, dir2)
+	res2, err := gen.MaterializeStream(set, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range res.CSVPaths {
+		if string(fileBytes(t, res.CSVPaths[name])) != string(fileBytes(t, res2.CSVPaths[name])) {
+			t.Fatalf("re-merged table %s differs", name)
+		}
+	}
+}

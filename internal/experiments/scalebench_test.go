@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func scaleReport() *ScaleBenchReport {
+	return &ScaleBenchReport{
+		Rows:          1_000_000,
+		RowsPerSec:    50_000,
+		PeakHeapBytes: 200 << 20,
+		PeakRSSBytes:  300 << 20,
+	}
+}
+
+func TestCompareScalePasses(t *testing.T) {
+	rep := scaleReport()
+	if v := CompareScale(rep, 40_000, 512<<20); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Zero disables each gate independently.
+	rep.RowsPerSec = 1
+	rep.PeakHeapBytes = 1 << 40
+	rep.PeakRSSBytes = 1 << 40
+	if v := CompareScale(rep, 0, 0); len(v) != 0 {
+		t.Fatalf("disabled gates still fired: %v", v)
+	}
+}
+
+func TestCompareScaleCatchesEveryBreach(t *testing.T) {
+	rep := scaleReport()
+	rep.RowsPerSec = 10_000
+	rep.PeakHeapBytes = 600 << 20
+	rep.PeakRSSBytes = 700 << 20
+	v := CompareScale(rep, 40_000, 512<<20)
+	if len(v) != 3 {
+		t.Fatalf("want 3 violations, got %d: %v", len(v), v)
+	}
+	for _, frag := range []string{"rows/sec below required", "peak heap", "peak RSS"} {
+		found := false
+		for _, s := range v {
+			if strings.Contains(s, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no violation mentioning %q in %v", frag, v)
+		}
+	}
+}
+
+func TestCompareScaleSkipsMissingRSS(t *testing.T) {
+	rep := scaleReport()
+	rep.PeakRSSBytes = 0 // platform without /proc/self/status
+	rep.PeakHeapBytes = 600 << 20
+	v := CompareScale(rep, 0, 512<<20)
+	if len(v) != 1 || !strings.Contains(v[0], "peak heap") {
+		t.Fatalf("want only the heap breach, got %v", v)
+	}
+}
+
+func TestRunScaleBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 20k rows through the streaming pipeline")
+	}
+	rep, err := RunScaleBench(ScaleBenchConfig{
+		Rows:       20_000,
+		Shards:     3,
+		Workers:    2,
+		Partitions: 8,
+		Dir:        t.TempDir() + "/scale",
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("RunScaleBench: %v", err)
+	}
+	if rep.Rows != 20_000 || rep.Shards != 3 {
+		t.Fatalf("report rows/shards = %d/%d, want 20000/3", rep.Rows, rep.Shards)
+	}
+	if rep.RowsPerSec <= 0 || rep.SampleRowsPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", rep)
+	}
+	if rep.PeakHeapBytes <= 0 {
+		t.Fatalf("heap watermark never sampled: %+v", rep)
+	}
+	if rep.ShardBytes <= 0 {
+		t.Fatalf("shard bytes not recorded: %+v", rep)
+	}
+	if rep.Meta.Commit == "" && rep.Meta.GoVersion == "" {
+		t.Fatalf("report meta not stamped: %+v", rep.Meta)
+	}
+	buf, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	for _, key := range []string{"rows_per_sec", "peak_heap_bytes", "shard_bytes", "meta"} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("JSON missing %q:\n%s", key, buf)
+		}
+	}
+}

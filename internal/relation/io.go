@@ -102,40 +102,31 @@ func (spec SchemaSpec) Sizes() map[string]int {
 }
 
 // WriteCSV writes the table as CSV: one column per content attribute, plus
-// __pk / __fk columns when present.
+// __pk / __fk columns when present. It streams through the same
+// CSVRowWriter the bounded-memory generation path uses, so both emit
+// byte-identical files for identical rows.
 func (t *Table) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	header := make([]string, 0, len(t.Cols)+2)
-	if t.PKVals != nil {
-		header = append(header, "__pk")
-	}
-	for _, c := range t.Cols {
-		header = append(header, c.Name)
-	}
-	if t.Parent != "" {
-		header = append(header, "__fk")
-	}
-	if err := cw.Write(header); err != nil {
+	rw, err := NewCSVRowWriter(w, t, t.PKVals != nil)
+	if err != nil {
 		return err
 	}
-	row := make([]string, 0, len(header))
+	codes := make([]int32, len(t.Cols))
 	for i := 0; i < t.NumRows(); i++ {
-		row = row[:0]
+		var pk, fk int64
 		if t.PKVals != nil {
-			row = append(row, strconv.FormatInt(t.PKVals[i], 10))
-		}
-		for _, c := range t.Cols {
-			row = append(row, strconv.FormatInt(int64(c.Data[i]), 10))
+			pk = t.PKVals[i]
 		}
 		if t.Parent != "" {
-			row = append(row, strconv.FormatInt(t.FK[i], 10))
+			fk = t.FK[i]
 		}
-		if err := cw.Write(row); err != nil {
+		for ci, c := range t.Cols {
+			codes[ci] = c.Data[i]
+		}
+		if err := rw.WriteRow(pk, codes, fk); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return rw.Flush()
 }
 
 // ReadCSV fills an empty table (built from a spec) from CSV produced by

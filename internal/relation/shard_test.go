@@ -1,0 +1,208 @@
+package relation
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateShardFile(dir, 3, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []int32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		-1, 0, 2147483647, -2147483648,
+	}
+	if err := w.WriteRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRows(rows[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenShardFile(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NCols() != 4 || r.Shard() != 3 || r.Seed() != 99 {
+		t.Fatalf("header ncols=%d shard=%d seed=%d", r.NCols(), r.Shard(), r.Seed())
+	}
+	if r.Rows() != 4 {
+		t.Fatalf("patched row count %d want 4", r.Rows())
+	}
+	// Read back through a buffer smaller than the stream to exercise
+	// partial reads.
+	buf := make([]int32, 3*4)
+	var got []int32
+	for {
+		n, err := r.ReadRows(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n*4]...)
+	}
+	want := append(append([]int32{}, rows...), rows[:4]...)
+	if len(got) != len(want) {
+		t.Fatalf("read %d codes want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("code %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestShardWriterValidation(t *testing.T) {
+	var b bytes.Buffer
+	if _, err := NewShardWriter(&b, 0, 0, 1); err == nil {
+		t.Fatal("accepted zero columns")
+	}
+	if _, err := NewShardWriter(&b, 2, -1, 1); err == nil {
+		t.Fatal("accepted negative shard")
+	}
+	w, err := NewShardWriter(&b, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRows([]int32{1, 2, 3}); err == nil {
+		t.Fatal("accepted partial row")
+	}
+}
+
+func TestShardReaderRejectsCorruptStreams(t *testing.T) {
+	if _, err := NewShardReader(strings.NewReader("not a shard file at all")); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+
+	// A stream truncated mid-row must error rather than silently drop
+	// codes.
+	var b bytes.Buffer
+	w, err := NewShardWriter(&b, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRows([]int32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := b.Bytes()[:b.Len()-2]
+	r, err := NewShardReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int32, 8)
+	if _, err := r.ReadRows(buf); err == nil || err == io.EOF {
+		t.Fatalf("mid-row truncation not detected: %v", err)
+	}
+}
+
+func TestShardStreamHeaderWithoutPatch(t *testing.T) {
+	// Writers over non-seekable sinks leave the row count unknown; readers
+	// must still stream to EOF.
+	var b bytes.Buffer
+	w, err := NewShardWriter(&b, 2, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRows([]int32{9, 8, 7, 6}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewShardReader(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != -1 {
+		t.Fatalf("unpatched row count %d want -1", r.Rows())
+	}
+	buf := make([]int32, 4)
+	n, err := r.ReadRows(buf)
+	if err != nil || n != 2 {
+		t.Fatalf("read %d rows err %v", n, err)
+	}
+	if _, err := r.ReadRows(buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestCSVRowWriterMatchesWriteCSV(t *testing.T) {
+	// The streaming row writer and the in-memory table writer must emit
+	// byte-identical CSV for identical rows.
+	col := NewColumn("x", Categorical, 5)
+	for _, v := range []int32{4, 0, 3} {
+		col.Append(v)
+	}
+	tb := NewTable("child", col)
+	tb.Parent = "root"
+	tb.FK = []int64{2, 0, 1}
+	tb.PKVals = []int64{0, 1, 2}
+
+	var mem bytes.Buffer
+	if err := tb.WriteCSV(&mem); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed bytes.Buffer
+	rw, err := NewCSVRowWriter(&streamed, tb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		if err := rw.WriteRow(tb.PKVals[i], []int32{col.Data[i]}, tb.FK[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.String() != streamed.String() {
+		t.Fatalf("csv mismatch:\nmem:\n%s\nstream:\n%s", mem.String(), streamed.String())
+	}
+
+	// And ReadCSV round-trips the streamed bytes.
+	rootCol := NewColumn("r", Categorical, 2)
+	rootCol.Append(0)
+	rootCol.Append(1)
+	rootCol.Append(0)
+	root := NewTable("root", rootCol)
+	spec := MustSchema(root, tb).Spec()
+	shell, err := spec.EmptySchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := shell.Table("child")
+	if err := back.ReadCSV(&streamed); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 || back.FK[0] != 2 || back.PKVals[2] != 2 || back.Cols[0].Data[2] != 3 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestShardFileNameStable(t *testing.T) {
+	if got := ShardFileName(7); got != "shard-00007.bin" {
+		t.Fatalf("shard file name %q", got)
+	}
+	if got := filepath.Join("d", ShardFileName(0)); got != filepath.Join("d", "shard-00000.bin") {
+		t.Fatal("join mismatch")
+	}
+	// Names sort in shard order for directory scans.
+	if !(ShardFileName(9) < ShardFileName(10)) {
+		t.Fatal("shard names do not sort numerically")
+	}
+	if _, err := os.Stat(filepath.Join(t.TempDir(), ShardFileName(0))); err == nil {
+		t.Fatal("unexpected file")
+	}
+}

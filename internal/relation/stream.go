@@ -1,0 +1,79 @@
+package relation
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// RowWriter consumes one table's generated rows in final output order —
+// the sink side of streaming generation, which never materializes a Table
+// in memory. Implementations decide what pk/fk mean; callers pass zeroes
+// for tables without the corresponding key column.
+type RowWriter interface {
+	// WriteRow appends one row: the table's content codes plus, when the
+	// writer was configured with the key columns, its primary-key value and
+	// parent foreign-key value.
+	WriteRow(pk int64, codes []int32, fk int64) error
+}
+
+// CSVRowWriter streams rows as CSV in exactly the layout Table.WriteCSV
+// produces (and Table.ReadCSV parses): optional __pk first, content
+// columns, optional __fk last.
+type CSVRowWriter struct {
+	cw    *csv.Writer
+	hasPK bool
+	hasFK bool
+	row   []string
+}
+
+// NewCSVRowWriter writes the header row for a table shaped like t and
+// returns the streaming writer. withPK controls the __pk column; the __fk
+// column follows from t.Parent.
+func NewCSVRowWriter(w io.Writer, t *Table, withPK bool) (*CSVRowWriter, error) {
+	hasFK := t.Parent != ""
+	header := make([]string, 0, len(t.Cols)+2)
+	if withPK {
+		header = append(header, "__pk")
+	}
+	for _, c := range t.Cols {
+		header = append(header, c.Name)
+	}
+	if hasFK {
+		header = append(header, "__fk")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	return &CSVRowWriter{
+		cw:    cw,
+		hasPK: withPK,
+		hasFK: hasFK,
+		row:   make([]string, 0, len(header)),
+	}, nil
+}
+
+// WriteRow appends one row. pk is ignored unless the writer was built with
+// withPK; fk is ignored for root tables.
+func (w *CSVRowWriter) WriteRow(pk int64, codes []int32, fk int64) error {
+	row := w.row[:0]
+	if w.hasPK {
+		row = append(row, strconv.FormatInt(pk, 10))
+	}
+	for _, c := range codes {
+		row = append(row, strconv.FormatInt(int64(c), 10))
+	}
+	if w.hasFK {
+		row = append(row, strconv.FormatInt(fk, 10))
+	}
+	w.row = row
+	return w.cw.Write(row)
+}
+
+// Flush drains buffered rows to the underlying writer and reports any
+// write error. Call it once after the last row.
+func (w *CSVRowWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
