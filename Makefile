@@ -81,11 +81,17 @@ scale-gate: scale-bench
 		-scale-min-rps $(SCALE_MIN_RPS) \
 		-scale-max-mem $(SCALE_MAX_MEM)
 
-## trace-smoke runs a real smoke-scale pipeline with tracing and live
-## metrics enabled and checks every observability surface end to end;
-## CI's "Trace and metrics smoke" step is exactly this target.
+## trace-smoke runs a real smoke-scale pipeline with every observability
+## surface enabled — trace, run log, metrics dump — then analyzes the
+## trace with samtrace and fuses all three artifacts into a samreport
+## (which fails if their run IDs disagree); CI's "Trace and metrics
+## smoke" step is exactly this target.
 trace-smoke:
-	$(GO) run ./cmd/sambench -scale smoke -exp tab1 -trace trace.jsonl -progress
+	$(GO) run ./cmd/sambench -scale smoke -exp tab1 -trace trace.jsonl \
+		-runlog run.log -metrics-out metrics.prom -progress
 	$(GO) run ./cmd/samtrace -top 5 trace.jsonl
 	$(GO) run ./cmd/samtrace diff trace.jsonl trace.jsonl
-	$(GO) test -run 'TestSambenchTraceSmoke|TestSambenchPrometheusEndpoint' -v .
+	$(GO) run ./cmd/samreport -trace trace.jsonl -runlog run.log \
+		-metrics metrics.prom -top 5 -o report.md
+	@grep -q 'Run ID' report.md || { echo "samreport: no run ID in report.md"; exit 1; }
+	$(GO) test -run 'TestSambenchTraceSmoke|TestSamreportSmoke|TestSambenchPrometheusEndpoint' -v .

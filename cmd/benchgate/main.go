@@ -128,6 +128,10 @@ func main() {
 		if err != nil {
 			violations = append(violations, fmt.Sprintf("scale: unreadable report: %v", err))
 		} else {
+			if rep.RunID != "" {
+				fmt.Printf("benchgate: scale report from run %s (pass split: sample=%dms weight=%dms A=%dms B=%dms C=%dms)\n",
+					rep.RunID, rep.SampleWallMs, rep.WeightWallMs, rep.PassAWallMs, rep.PassBWallMs, rep.PassCWallMs)
+			}
 			violations = append(violations, experiments.CompareScale(rep, *scaleMinRPS, *scaleMaxMem<<20)...)
 			checked++
 		}

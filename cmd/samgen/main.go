@@ -8,7 +8,8 @@
 //	samgen -workload workload.json -schema schema.json -outdir gen/ \
 //	       [-population N] [-epochs N] [-hidden N] [-samples N] [-seed N] [-no-gam] \
 //	       [-stream] [-shards N] [-workers N] [-partitions N] [-keep-samples] \
-//	       [-trace out.jsonl] [-progress] [-debug-addr :6060]
+//	       [-trace out.jsonl] [-runlog run.jsonl] [-metrics-out metrics.prom] \
+//	       [-progress] [-debug-addr :6060]
 //
 // -population is required for multi-relation schemas (the full outer join
 // size, printed by workloadgen).
@@ -25,6 +26,11 @@
 // sampling progress, and per-phase generation stats to stderr;
 // -debug-addr serves live pprof/expvar, Prometheus metrics at /metrics
 // (JSON at /metrics.json), and the recent-event ring at /debug/events.
+// -runlog appends every pipeline event as structured JSONL and
+// -metrics-out snapshots the final registry as Prometheus text. Every
+// invocation mints a run ID stamped into all of these (trace root attr,
+// run log lines, the sam_run_info family), which is how cmd/samreport
+// joins a run's artifacts back together.
 package main
 
 import (
@@ -66,15 +72,28 @@ func main() {
 	savePath := flag.String("save", "", "save the trained model to this path")
 	loadPath := flag.String("load", "", "skip training and load a model saved with -save")
 	traceOut := flag.String("trace", "", "write the pipeline's phase trace (JSONL spans) to this file")
+	runlogOut := flag.String("runlog", "", "append the run's structured events as JSONL (framed by run_start/run_end and stamped with the run ID) to this file")
+	metricsOut := flag.String("metrics-out", "", "write the final telemetry registry in Prometheus text format to this file at exit")
 	progress := flag.Bool("progress", false, "stream per-epoch training and per-phase generation progress to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 
+	// One run ID correlates every artifact this invocation emits: the
+	// trace root, the event ring, the sam_run_info metric family, and the
+	// run log. samreport joins them back together by it.
+	runID := obs.NewRunID()
 	var hooks *obs.Hooks
+	var reg *obs.Registry
+	if *debugAddr != "" || *metricsOut != "" {
+		reg = obs.Default()
+		obs.StampRunInfo(reg, runID, obs.BuildMeta())
+		hooks = obs.MetricsHooks(reg)
+	}
 	if *debugAddr != "" {
 		events := obs.NewEventLog(obs.DefaultEventLogSize)
-		hooks = obs.Merge(obs.MetricsHooks(obs.Default()), obs.EventLogHooks(events))
-		addr, closeDebug, err := obs.ServeDebug(*debugAddr, obs.Default(), events)
+		events.SetRunID(runID)
+		hooks = obs.Merge(hooks, obs.EventLogHooks(events))
+		addr, closeDebug, err := obs.ServeDebug(*debugAddr, reg, events)
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}
@@ -84,14 +103,30 @@ func main() {
 	if *progress {
 		hooks = obs.Merge(hooks, obs.ProgressHooks(os.Stderr))
 	}
+	var runlog *obs.RunLog
+	var runlogFile *os.File
+	if *runlogOut != "" {
+		f, err := os.Create(*runlogOut)
+		if err != nil {
+			log.Fatalf("runlog: %v", err)
+		}
+		runlog = obs.NewRunLog(f, runID)
+		runlogFile = f
+		hooks = obs.Merge(hooks, obs.RunLogHooks(runlog))
+	}
 	var trace *obs.Trace
 	if *traceOut != "" {
 		trace = obs.NewTrace("samgen")
 		root := trace.Root()
 		root.SetAttr("seed", *seed)
+		root.SetAttr("run_id", runID)
 		obs.BuildMeta().SetAttrs(root)
 	}
-	tel := telemetry{hooks: hooks, trace: trace, traceOut: *traceOut}
+	tel := telemetry{
+		hooks: hooks, trace: trace, traceOut: *traceOut,
+		reg: reg, metricsOut: *metricsOut,
+		runlog: runlog, runlogFile: runlogFile,
+	}
 
 	if *loadPath != "" {
 		mf, err := os.Open(*loadPath)
@@ -202,32 +237,57 @@ func main() {
 
 // telemetry bundles the optional observer state the flags configured.
 type telemetry struct {
-	hooks    *obs.Hooks
-	trace    *obs.Trace
-	traceOut string
+	hooks      *obs.Hooks
+	trace      *obs.Trace
+	traceOut   string
+	reg        *obs.Registry
+	metricsOut string
+	runlog     *obs.RunLog
+	runlogFile *os.File
 }
 
-// flush ends the trace, writes the JSONL file, and prints the phase
-// summary. No-op when tracing is off.
+// flush finishes every telemetry artifact the flags configured: ends and
+// writes the trace (printing the phase summary), closes the run log, and
+// snapshots the metrics registry as Prometheus text.
 func (tel telemetry) flush() {
-	if tel.trace == nil {
-		return
+	if tel.trace != nil {
+		tel.trace.Root().End()
+		f, err := os.Create(tel.traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := tel.trace.WriteJSONL(f); err != nil {
+			f.Close()
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Println("== phase trace ==")
+		fmt.Print(tel.trace.Summary())
+		log.Printf("trace written to %s", tel.traceOut)
 	}
-	tel.trace.Root().End()
-	f, err := os.Create(tel.traceOut)
-	if err != nil {
-		log.Fatalf("trace: %v", err)
+	if tel.runlog != nil {
+		if err := tel.runlog.Close(); err != nil {
+			log.Fatalf("runlog: %v", err)
+		}
+		if err := tel.runlogFile.Close(); err != nil {
+			log.Fatalf("runlog: %v", err)
+		}
 	}
-	if err := tel.trace.WriteJSONL(f); err != nil {
-		f.Close()
-		log.Fatalf("trace: %v", err)
+	if tel.metricsOut != "" {
+		f, err := os.Create(tel.metricsOut)
+		if err != nil {
+			log.Fatalf("metrics-out: %v", err)
+		}
+		if err := obs.WritePrometheus(f, tel.reg); err != nil {
+			f.Close()
+			log.Fatalf("metrics-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("metrics-out: %v", err)
+		}
 	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("trace: %v", err)
-	}
-	fmt.Println("== phase trace ==")
-	fmt.Print(tel.trace.Summary())
-	log.Printf("trace written to %s", tel.traceOut)
 }
 
 // genConfig bundles the generation-phase flag settings.

@@ -243,7 +243,7 @@ func (g *Generator) SampleShards(newSampler func() join.TupleSampler, k int, opt
 				return
 			}
 			lo, hi := shardRange(k, S, si)
-			rows, path, err := g.sampleOneShard(sampler, rngs, si, hi-lo, dir, chunkRows, opts, emitProgress)
+			rows, path, err := g.sampleOneShard(sampler, rngs, si, hi-lo, dir, chunkRows, span, opts, emitProgress)
 			if err != nil {
 				fail(fmt.Errorf("core: shard %d: %w", si, err))
 				return
@@ -303,7 +303,7 @@ func (g *Generator) SampleShard(newSampler func() join.TupleSampler, k, shard in
 		rngs[l] = rand.New(rand.NewSource(0))
 	}
 	lo, hi := shardRange(k, S, shard)
-	rows, path, err := g.sampleOneShard(newSampler(), rngs, shard, hi-lo, dir, chunkRows, opts, func(int) {})
+	rows, path, err := g.sampleOneShard(newSampler(), rngs, shard, hi-lo, dir, chunkRows, opts.Span, opts, func(int) {})
 	if err != nil {
 		return "", 0, fmt.Errorf("core: shard %d: %w", shard, err)
 	}
@@ -316,14 +316,26 @@ func (g *Generator) SampleShard(newSampler func() join.TupleSampler, k, shard in
 // writer goroutine drains them in order. The chunk size affects only
 // memory and syscall granularity — the byte stream is fixed by
 // (Seed, shard, rows, Batch).
+//
+// Telemetry (the per-shard span under psp, the stream_pass "shard" event
+// with its backpressure wait) is strictly observational: the sampling
+// order, rng consumption, and shard bytes are identical with observers on
+// or off, and the per-chunk wait clock only runs when a hook listens.
 func (g *Generator) sampleOneShard(sampler join.TupleSampler, rngs []*rand.Rand,
-	shard, rows int, dir string, chunkRows int, opts StreamOptions, emitProgress func(int)) (int, string, error) {
+	shard, rows int, dir string, chunkRows int, psp *obs.Span, opts StreamOptions, emitProgress func(int)) (int, string, error) {
 	ncols := g.Layout.NumCols()
 	batch := len(rngs)
 	base := ar.SplitSeed(opts.Seed, shard)
 	for l := range rngs {
 		rngs[l].Seed(ar.LaneSeed(base, l))
 	}
+
+	shardStart := time.Now()
+	sp := psp.Child("shard")
+	sp.SetAttr("shard", shard)
+	sp.SetAttr("rows", rows)
+	defer sp.End()
+	wantPass := opts.Hooks.WantsStreamPass()
 
 	w, err := relation.CreateShardFile(dir, shard, ncols, opts.Seed)
 	if err != nil {
@@ -357,12 +369,32 @@ func (g *Generator) sampleOneShard(sampler join.TupleSampler, rngs []*rand.Rand,
 	bs, okBatch := sampler.(join.BatchTupleSampler)
 	okBatch = okBatch && batch > 1 && bs.BatchCap() >= batch
 
-	cur := <-free
+	// bpWait accumulates time blocked on the bounded chunk pipeline (all
+	// chunkBuffers buffers in flight to the writer) — the backpressure
+	// signal behind stream_backpressure_wait_seconds. The clock only runs
+	// when a StreamPass hook listens; the channel protocol is identical
+	// either way.
+	var bpWait time.Duration
+	takeFree := func() []int32 {
+		if !wantPass {
+			return <-free
+		}
+		select {
+		case buf := <-free:
+			return buf
+		default:
+		}
+		waitStart := time.Now()
+		buf := <-free
+		bpWait += time.Since(waitStart)
+		return buf
+	}
+	cur := takeFree()
 	filled := 0 // rows in cur
 	flush := func() {
 		if filled > 0 {
 			full <- chunk{cur, filled}
-			cur = <-free
+			cur = takeFree()
 			filled = 0
 		}
 	}
@@ -398,6 +430,16 @@ func (g *Generator) sampleOneShard(sampler join.TupleSampler, rngs []*rand.Rand,
 	}
 	if err != nil {
 		return 0, "", err
+	}
+	if wantPass {
+		sp.SetAttr("backpressure_us", bpWait.Microseconds())
+		opts.Hooks.StreamPass(obs.StreamPass{
+			Pass: "shard", Shard: shard,
+			RecordsOut:       int64(rows),
+			BytesWritten:     4 * int64(rows) * int64(ncols),
+			BackpressureWait: bpWait,
+			Wall:             time.Since(shardStart),
+		})
 	}
 	return rows, w.Path(), nil
 }

@@ -344,6 +344,16 @@ func openSpanMerge(dir, prefix string, p int) (*spanMerge, error) {
 	return m, nil
 }
 
+// fanIn reports how many non-empty runs the merge is currently drawing
+// from — the heap fan-in telemetry of the pass that consumes it. Nil
+// merges (root tables have no parent) report 0.
+func (m *spanMerge) fanIn() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.h)
+}
+
 // spansFor appends sample idx's spans to dst (empty when the sample
 // earned none). Callers must ask for strictly increasing idx.
 func (m *spanMerge) spansFor(idx int64, dst []keySpan) ([]keySpan, error) {

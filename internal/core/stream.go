@@ -249,6 +249,12 @@ func (g *Generator) MaterializeStream(set *ShardSet, opts StreamOptions) (*Strea
 		})
 	}
 	weightSpan.End()
+	opts.Hooks.StreamPass(obs.StreamPass{
+		Pass: "weight", Shard: -1,
+		RecordsIn: int64(set.Total),
+		BytesRead: 4 * int64(set.Total) * int64(ncols),
+		Wall:      time.Since(wStart),
+	})
 
 	mergeSpan := opts.Span.Child("merge")
 	defer mergeSpan.End()
@@ -279,12 +285,18 @@ func (g *Generator) MaterializeStream(set *ShardSet, opts StreamOptions) (*Strea
 			}
 		}
 		tStart := time.Now()
+		// One span per table (path merge/table, attr "name"), with the
+		// three spill passes as A/B/C children — the per-pass self/total
+		// attribution samtrace renders for a scale run.
+		tspan := mergeSpan.Child("table")
+		tspan.SetAttr("name", tc.t.Name)
 		var rows, groups int
 		if tc.hasChildren {
-			rows, groups, err = g.streamInternal(set, tc, parent, buf, P, spillDir, outDir, rng, opts)
+			rows, groups, err = g.streamInternal(set, tc, parent, buf, P, spillDir, outDir, rng, tspan, opts)
 		} else {
-			rows, groups, err = g.streamLeaf(set, tc, parent, buf, P, spillDir, outDir, rng)
+			rows, groups, err = g.streamLeaf(set, tc, parent, buf, P, spillDir, outDir, rng, tspan, opts)
 		}
+		tspan.End()
 		if parent != nil {
 			parent.Close()
 			childLeft[tc.t.Parent]--
@@ -346,21 +358,33 @@ func (s *csvSink) close() error {
 // aggregates each partition into agg+member runs, pass C allocates keys
 // systematically, emits one CSV row per key, and cell-walks each group's
 // members into span runs for the children.
+//
+// Each pass runs under its own child span of tspan and reports an
+// obs.StreamPass event (records in/out, spill bytes, run counts, the
+// parent heap-merge fan-in). All of it is observational: the spill bytes,
+// group order, and emitted CSV are identical with observers on or off.
 func (g *Generator) streamInternal(set *ShardSet, tc *tableCtx, parent *spanMerge,
-	buf []int32, P int, spillDir, outDir string, rng *rand.Rand, opts StreamOptions) (int, int, error) {
+	buf []int32, P int, spillDir, outDir string, rng *rand.Rand, tspan *obs.Span, opts StreamOptions) (int, int, error) {
 	name := tc.t.Name
 	nid, nc := len(tc.idCols), len(tc.ctIdx)
 	rawSize := 24 + 4*(nid+nc)
+	aggSize := 20 + 4*nc
+	fan := parent.fanIn()
 
 	// Pass A: spill surviving samples to group-hash partitions.
+	aStart := time.Now()
+	passA := tspan.Child("A")
+	passA.SetAttr("fan_in", fan)
 	pw, err := newPartWriter(spillDir, name+".raw", P)
 	if err != nil {
+		passA.End()
 		return 0, 0, err
 	}
 	coarse := make([]int32, nid)
 	content := make([]int32, nc)
 	var keyBuf, recBuf []byte
 	var spans []keySpan
+	var spilled int64
 	err = set.Stream(buf, func(idx int64, row []int32) error {
 		// Drain the parent's spans for every index, even filtered ones,
 		// to keep the merge-join aligned.
@@ -391,18 +415,29 @@ func (g *Generator) streamInternal(set *ShardSet, tc *tableCtx, parent *spanMerg
 		recBuf = putU64(recBuf, uint64(pk))
 		recBuf = putI32s(recBuf, coarse)
 		recBuf = putI32s(recBuf, content)
+		spilled++
 		return pw.write(spillPartition(keyBuf, P), recBuf)
 	})
 	if err == nil {
 		err = pw.close()
 	}
+	passA.SetAttr("records_out", spilled)
+	passA.End()
 	if err != nil {
 		pw.cleanup()
 		return 0, 0, err
 	}
+	opts.Hooks.StreamPass(obs.StreamPass{
+		Pass: "A", Table: name, Shard: -1,
+		RecordsIn: int64(set.Total), RecordsOut: spilled,
+		Runs: P, FanIn: fan,
+		BytesWritten: spilled * int64(rawSize),
+		Wall:         time.Since(aStart),
+	})
 
 	// Pass B: group each partition (first-appearance order), write agg and
 	// member runs, accumulate the global weight mass in group order.
+	bStart := time.Now()
 	type igroup struct {
 		gw      float64
 		pk      int64
@@ -411,81 +446,101 @@ func (g *Generator) streamInternal(set *ShardSet, tc *tableCtx, parent *spanMerg
 	}
 	var sum float64
 	groups := 0
-	for part := 0; part < P; part++ {
-		var order []*igroup
-		lookup := make(map[string]*igroup)
-		perGroup := make(map[*igroup][]memberRec)
-		err := readRecords(pw.paths[part], rawSize, func(rec []byte) error {
-			idx := int64(getU64(rec))
-			w := getF64(rec[8:])
-			// Group key = parent-key bytes + coarse identifier bytes,
-			// reused straight from the record.
-			key := string(rec[16 : 24+4*nid])
-			grp := lookup[key]
-			if grp == nil {
-				ct := make([]int32, nc)
-				getI32s(rec[24+4*nid:], ct)
-				grp = &igroup{pk: int64(getU64(rec[16:])), content: ct}
-				lookup[key] = grp
-				order = append(order, grp)
+	err = func() error {
+		passB := tspan.Child("B")
+		defer passB.End()
+		for part := 0; part < P; part++ {
+			var order []*igroup
+			lookup := make(map[string]*igroup)
+			perGroup := make(map[*igroup][]memberRec)
+			err := readRecords(pw.paths[part], rawSize, func(rec []byte) error {
+				idx := int64(getU64(rec))
+				w := getF64(rec[8:])
+				// Group key = parent-key bytes + coarse identifier bytes,
+				// reused straight from the record.
+				key := string(rec[16 : 24+4*nid])
+				grp := lookup[key]
+				if grp == nil {
+					ct := make([]int32, nc)
+					getI32s(rec[24+4*nid:], ct)
+					grp = &igroup{pk: int64(getU64(rec[16:])), content: ct}
+					lookup[key] = grp
+					order = append(order, grp)
+				}
+				grp.gw += w
+				grp.members++
+				perGroup[grp] = append(perGroup[grp], memberRec{idx: idx, w: w})
+				return nil
+			})
+			if err != nil {
+				return err
 			}
-			grp.gw += w
-			grp.members++
-			perGroup[grp] = append(perGroup[grp], memberRec{idx: idx, w: w})
-			return nil
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		aggF, err := os.Create(spillPath(spillDir, name+".agg", part))
-		if err != nil {
-			return 0, 0, fmt.Errorf("core: create agg run: %w", err)
-		}
-		memF, err := os.Create(spillPath(spillDir, name+".mem", part))
-		if err != nil {
-			aggF.Close()
-			return 0, 0, fmt.Errorf("core: create member run: %w", err)
-		}
-		aggW := bufio.NewWriterSize(aggF, 1<<15)
-		memW := bufio.NewWriterSize(memF, 1<<15)
-		for _, grp := range order {
-			sum += grp.gw
-			recBuf = putF64(recBuf[:0], grp.gw)
-			recBuf = putU64(recBuf, uint64(grp.pk))
-			recBuf = append(recBuf, byte(grp.members), byte(grp.members>>8), byte(grp.members>>16), byte(grp.members>>24))
-			recBuf = putI32s(recBuf, grp.content)
-			if _, err := aggW.Write(recBuf); err != nil {
+			aggF, err := os.Create(spillPath(spillDir, name+".agg", part))
+			if err != nil {
+				return fmt.Errorf("core: create agg run: %w", err)
+			}
+			memF, err := os.Create(spillPath(spillDir, name+".mem", part))
+			if err != nil {
 				aggF.Close()
-				memF.Close()
-				return 0, 0, fmt.Errorf("core: write agg run: %w", err)
+				return fmt.Errorf("core: create member run: %w", err)
 			}
-			for _, m := range perGroup[grp] {
-				recBuf = putU64(recBuf[:0], uint64(m.idx))
-				recBuf = putF64(recBuf, m.w)
-				if _, err := memW.Write(recBuf); err != nil {
+			aggW := bufio.NewWriterSize(aggF, 1<<15)
+			memW := bufio.NewWriterSize(memF, 1<<15)
+			for _, grp := range order {
+				sum += grp.gw
+				recBuf = putF64(recBuf[:0], grp.gw)
+				recBuf = putU64(recBuf, uint64(grp.pk))
+				recBuf = append(recBuf, byte(grp.members), byte(grp.members>>8), byte(grp.members>>16), byte(grp.members>>24))
+				recBuf = putI32s(recBuf, grp.content)
+				if _, err := aggW.Write(recBuf); err != nil {
 					aggF.Close()
 					memF.Close()
-					return 0, 0, fmt.Errorf("core: write member run: %w", err)
+					return fmt.Errorf("core: write agg run: %w", err)
+				}
+				for _, m := range perGroup[grp] {
+					recBuf = putU64(recBuf[:0], uint64(m.idx))
+					recBuf = putF64(recBuf, m.w)
+					if _, err := memW.Write(recBuf); err != nil {
+						aggF.Close()
+						memF.Close()
+						return fmt.Errorf("core: write member run: %w", err)
+					}
 				}
 			}
+			groups += len(order)
+			if err := flushClose(aggW, aggF); err != nil {
+				memF.Close()
+				return err
+			}
+			if err := flushClose(memW, memF); err != nil {
+				return err
+			}
+			os.Remove(pw.paths[part])
 		}
-		groups += len(order)
-		if err := flushClose(aggW, aggF); err != nil {
-			memF.Close()
-			return 0, 0, err
-		}
-		if err := flushClose(memW, memF); err != nil {
-			return 0, 0, err
-		}
-		os.Remove(pw.paths[part])
+		passB.SetAttr("groups", groups)
+		return nil
+	}()
+	if err != nil {
+		return 0, 0, err
 	}
+	opts.Hooks.StreamPass(obs.StreamPass{
+		Pass: "B", Table: name, Shard: -1,
+		RecordsIn: spilled, RecordsOut: int64(groups),
+		Runs:         2 * P, // one agg + one member run per partition
+		BytesRead:    spilled * int64(rawSize),
+		BytesWritten: int64(groups)*int64(aggSize) + spilled*16,
+		Wall:         time.Since(bStart),
+	})
 
 	// Pass C: allocate |T| keys across groups in order, one CSV row per
 	// key, span runs for the children. Groups resolve with a one-group
 	// delay so the final group absorbs the allocator's drift remainder
 	// (matching systematicCounts).
+	cStart := time.Now()
+	passC := tspan.Child("C")
 	sink, err := newCSVSink(filepath.Join(outDir, name+".csv"), tc.t, true)
 	if err != nil {
+		passC.End()
 		return 0, 0, err
 	}
 	alloc := newSysAlloc(sum, g.Sizes[name])
@@ -501,12 +556,14 @@ func (g *Generator) streamInternal(set *ShardSet, tc *tableCtx, parent *spanMerg
 	var counter int64
 	vals := make([]int32, nc)
 	var spanBuf []spanRec
+	var spanRecs int64 // span-run records written, for the pass C event
 	curSpanPart := 0
 	flushSpansTo := func(part int) error {
 		for curSpanPart < part {
 			if err := writeSpanRun(spillPath(spillDir, name+".span", curSpanPart), spanBuf); err != nil {
 				return err
 			}
+			spanRecs += int64(len(spanBuf))
 			spanBuf = spanBuf[:0]
 			curSpanPart++
 		}
@@ -555,7 +612,6 @@ func (g *Generator) streamInternal(set *ShardSet, tc *tableCtx, parent *spanMerg
 		return nil
 	}
 	streamErr := func() error {
-		aggSize := 20 + 4*nc
 		aggRec := make([]byte, aggSize)
 		memRec := make([]byte, 16)
 		for part := 0; part < P; part++ {
@@ -624,9 +680,19 @@ func (g *Generator) streamInternal(set *ShardSet, tc *tableCtx, parent *spanMerg
 	if cerr := sink.close(); streamErr == nil {
 		streamErr = cerr
 	}
+	passC.SetAttr("rows", counter)
+	passC.End()
 	if streamErr != nil {
 		return 0, 0, streamErr
 	}
+	opts.Hooks.StreamPass(obs.StreamPass{
+		Pass: "C", Table: name, Shard: -1,
+		RecordsIn: int64(groups), RecordsOut: counter,
+		Runs:         P, // one child span run per partition
+		BytesRead:    int64(groups)*int64(aggSize) + spilled*16,
+		BytesWritten: spanRecs * spanRecSize,
+		Wall:         time.Since(cStart),
+	})
 	return int(counter), groups, nil
 }
 
@@ -646,24 +712,35 @@ func flushClose(bw *bufio.Writer, f *os.File) error {
 // bins, parent key), and pass C rescales the aggregate mass to |T| and
 // emits the allocated row counts — each row decoded fresh, as in the
 // in-memory path.
+//
+// As in streamInternal, each pass runs under its own child span of tspan
+// and reports an obs.StreamPass event; the instrumentation never alters
+// the spill bytes or the emitted CSV.
 func (g *Generator) streamLeaf(set *ShardSet, tc *tableCtx, parent *spanMerge,
-	buf []int32, P int, spillDir, outDir string, rng *rand.Rand) (int, int, error) {
+	buf []int32, P int, spillDir, outDir string, rng *rand.Rand, tspan *obs.Span, opts StreamOptions) (int, int, error) {
 	name := tc.t.Name
 	nc := len(tc.ctIdx)
 	rawSize := 16 + 4*nc
+	fan := parent.fanIn()
 
+	aStart := time.Now()
+	passA := tspan.Child("A")
+	passA.SetAttr("fan_in", fan)
 	pw, err := newPartWriter(spillDir, name+".raw", P)
 	if err != nil {
+		passA.End()
 		return 0, 0, err
 	}
 	content := make([]int32, nc)
 	var keyBuf, recBuf []byte
 	var spans []keySpan
+	var spilled int64
 	spill := func(pk int64, w float64) error {
 		keyBuf = packKey(keyBuf[:0], content, pk)
 		recBuf = putU64(recBuf[:0], uint64(pk))
 		recBuf = putF64(recBuf, w)
 		recBuf = putI32s(recBuf, content)
+		spilled++
 		return pw.write(spillPartition(keyBuf, P), recBuf)
 	}
 	err = set.Stream(buf, func(idx int64, row []int32) error {
@@ -693,12 +770,22 @@ func (g *Generator) streamLeaf(set *ShardSet, tc *tableCtx, parent *spanMerge,
 	if err == nil {
 		err = pw.close()
 	}
+	passA.SetAttr("records_out", spilled)
+	passA.End()
 	if err != nil {
 		pw.cleanup()
 		return 0, 0, err
 	}
+	opts.Hooks.StreamPass(obs.StreamPass{
+		Pass: "A", Table: name, Shard: -1,
+		RecordsIn: int64(set.Total), RecordsOut: spilled,
+		Runs: P, FanIn: fan,
+		BytesWritten: spilled * int64(rawSize),
+		Wall:         time.Since(aStart),
+	})
 
 	// Pass B: aggregate each partition by (content, parent key).
+	bStart := time.Now()
 	type lgroup struct {
 		gw      float64
 		fk      int64
@@ -707,49 +794,70 @@ func (g *Generator) streamLeaf(set *ShardSet, tc *tableCtx, parent *spanMerge,
 	aggSize := 16 + 4*nc
 	var aggSum float64
 	groups := 0
-	for part := 0; part < P; part++ {
-		var order []*lgroup
-		lookup := make(map[string]*lgroup)
-		err := readRecords(pw.paths[part], rawSize, func(rec []byte) error {
-			key := string(rec[0:8]) + string(rec[16:16+4*nc]) // pk bytes + content bytes
-			grp := lookup[key]
-			if grp == nil {
-				ct := make([]int32, nc)
-				getI32s(rec[16:], ct)
-				grp = &lgroup{fk: int64(getU64(rec)), content: ct}
-				lookup[key] = grp
-				order = append(order, grp)
+	err = func() error {
+		passB := tspan.Child("B")
+		defer passB.End()
+		for part := 0; part < P; part++ {
+			var order []*lgroup
+			lookup := make(map[string]*lgroup)
+			err := readRecords(pw.paths[part], rawSize, func(rec []byte) error {
+				key := string(rec[0:8]) + string(rec[16:16+4*nc]) // pk bytes + content bytes
+				grp := lookup[key]
+				if grp == nil {
+					ct := make([]int32, nc)
+					getI32s(rec[16:], ct)
+					grp = &lgroup{fk: int64(getU64(rec)), content: ct}
+					lookup[key] = grp
+					order = append(order, grp)
+				}
+				grp.gw += getF64(rec[8:])
+				return nil
+			})
+			if err != nil {
+				return err
 			}
-			grp.gw += getF64(rec[8:])
-			return nil
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		aggF, err := os.Create(spillPath(spillDir, name+".agg", part))
-		if err != nil {
-			return 0, 0, fmt.Errorf("core: create agg run: %w", err)
-		}
-		aggW := bufio.NewWriterSize(aggF, 1<<15)
-		for _, grp := range order {
-			aggSum += grp.gw
-			recBuf = putF64(recBuf[:0], grp.gw)
-			recBuf = putU64(recBuf, uint64(grp.fk))
-			recBuf = putI32s(recBuf, grp.content)
-			if _, err := aggW.Write(recBuf); err != nil {
-				aggF.Close()
-				return 0, 0, fmt.Errorf("core: write agg run: %w", err)
+			aggF, err := os.Create(spillPath(spillDir, name+".agg", part))
+			if err != nil {
+				return fmt.Errorf("core: create agg run: %w", err)
 			}
+			aggW := bufio.NewWriterSize(aggF, 1<<15)
+			for _, grp := range order {
+				aggSum += grp.gw
+				recBuf = putF64(recBuf[:0], grp.gw)
+				recBuf = putU64(recBuf, uint64(grp.fk))
+				recBuf = putI32s(recBuf, grp.content)
+				if _, err := aggW.Write(recBuf); err != nil {
+					aggF.Close()
+					return fmt.Errorf("core: write agg run: %w", err)
+				}
+			}
+			groups += len(order)
+			if err := flushClose(aggW, aggF); err != nil {
+				return err
+			}
+			os.Remove(pw.paths[part])
 		}
-		groups += len(order)
-		if err := flushClose(aggW, aggF); err != nil {
-			return 0, 0, err
-		}
-		os.Remove(pw.paths[part])
+		passB.SetAttr("groups", groups)
+		return nil
+	}()
+	if err != nil {
+		return 0, 0, err
 	}
+	opts.Hooks.StreamPass(obs.StreamPass{
+		Pass: "B", Table: name, Shard: -1,
+		RecordsIn: spilled, RecordsOut: int64(groups),
+		Runs:         P, // one agg run per partition (leaves have no members)
+		BytesRead:    spilled * int64(rawSize),
+		BytesWritten: int64(groups) * int64(aggSize),
+		Wall:         time.Since(bStart),
+	})
 
-	// Rescale so mass lost with dropped parent groups is restored, exactly
-	// as the in-memory leaf path does before rounding.
+	// Pass C: rescale the aggregate mass to |T| (restoring mass lost with
+	// dropped parent groups, exactly as the in-memory leaf path does
+	// before rounding), then systematic allocation over scaled aggregate
+	// weights, rows decoded per emission.
+	cStart := time.Now()
+	passC := tspan.Child("C")
 	factor := 0.0
 	if aggSum > 0 {
 		factor = float64(g.Sizes[name]) / aggSum
@@ -761,14 +869,14 @@ func (g *Generator) streamLeaf(set *ShardSet, tc *tableCtx, parent *spanMerge,
 			return nil
 		})
 		if err != nil {
+			passC.End()
 			return 0, 0, err
 		}
 	}
 
-	// Pass C: systematic allocation over scaled aggregate weights, rows
-	// decoded per emission.
 	sink, err := newCSVSink(filepath.Join(outDir, name+".csv"), tc.t, false)
 	if err != nil {
+		passC.End()
 		return 0, 0, err
 	}
 	alloc := newSysAlloc(scaledSum, g.Sizes[name])
@@ -824,8 +932,18 @@ func (g *Generator) streamLeaf(set *ShardSet, tc *tableCtx, parent *spanMerge,
 	if cerr := sink.close(); streamErr == nil {
 		streamErr = cerr
 	}
+	passC.SetAttr("rows", rows)
+	passC.End()
 	if streamErr != nil {
 		return 0, 0, streamErr
 	}
+	opts.Hooks.StreamPass(obs.StreamPass{
+		Pass: "C", Table: name, Shard: -1,
+		RecordsIn: int64(groups), RecordsOut: int64(rows),
+		// Two scans over the agg runs: the rescale pre-pass and the
+		// allocation walk.
+		BytesRead: 2 * int64(groups) * int64(aggSize),
+		Wall:      time.Since(cStart),
+	})
 	return rows, groups, nil
 }

@@ -5,12 +5,14 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"sam/internal/datagen"
 	"sam/internal/engine"
 	"sam/internal/join"
 	"sam/internal/metrics"
+	"sam/internal/obs"
 	"sam/internal/relation"
 	"sam/internal/workload"
 )
@@ -482,6 +484,133 @@ func TestKeepSamplesRetainsShards(t *testing.T) {
 	for name := range res.CSVPaths {
 		if string(fileBytes(t, res.CSVPaths[name])) != string(fileBytes(t, res2.CSVPaths[name])) {
 			t.Fatalf("re-merged table %s differs", name)
+		}
+	}
+}
+
+// TestStreamObserversByteIdentical is the observer-only contract for the
+// streaming pipeline's telemetry: attaching the full set of hooks (stream
+// passes, progress, a live trace span) must not change a single output
+// byte — shard files and CSVs are compared bit-for-bit against an
+// unobserved run with the same configuration.
+func TestStreamObserversByteIdentical(t *testing.T) {
+	orig := datagen.IMDB(13, 90)
+	l := join.NewLayout(orig)
+	o := join.NewOracle(l)
+	gen, err := NewGenerator(l, identityDiscs(l), sizesOf(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var passes []obs.StreamPass
+	hooks := obs.Merge(
+		&obs.Hooks{
+			OnStreamPass: func(p obs.StreamPass) {
+				mu.Lock()
+				passes = append(passes, p)
+				mu.Unlock()
+			},
+			OnGenProgress: func(obs.GenProgress) {},
+			OnGenPhase:    func(obs.GenPhase) {},
+		},
+		obs.MetricsHooks(obs.NewRegistry()),
+	)
+	trace := obs.NewTrace("test")
+
+	run := func(h *obs.Hooks, sp *obs.Span) (map[string][]byte, [][]byte) {
+		opts := DefaultStreamOptions(29, t.TempDir())
+		opts.Samples = 5000
+		opts.Shards = 3
+		opts.Workers = 2
+		opts.Partitions = 5
+		opts.KeepSamples = true
+		opts.Hooks = h
+		opts.Span = sp
+		res, err := gen.GenerateStream(func() join.TupleSampler { return o }, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvs := map[string][]byte{}
+		for name, path := range res.CSVPaths {
+			csvs[name] = fileBytes(t, path)
+		}
+		set, err := OpenShardSet(filepath.Join(opts.OutDir, "shards"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shards [][]byte
+		for _, p := range set.Paths {
+			shards = append(shards, fileBytes(t, p))
+		}
+		return csvs, shards
+	}
+
+	plainCSV, plainShards := run(nil, nil)
+	obsCSV, obsShards := run(hooks, trace.Root())
+	trace.Root().End()
+
+	for name := range plainCSV {
+		if string(plainCSV[name]) != string(obsCSV[name]) {
+			t.Fatalf("table %s CSV differs with observers attached", name)
+		}
+	}
+	for i := range plainShards {
+		if string(plainShards[i]) != string(obsShards[i]) {
+			t.Fatalf("shard %d bytes differ with observers attached", i)
+		}
+	}
+
+	// The event stream itself must be internally consistent: one sampling
+	// event per shard summing to the sample count, one weight scan, and
+	// one A/B/C pass per table with matching record flow.
+	byPass := map[string][]obs.StreamPass{}
+	for _, p := range passes {
+		byPass[p.Pass] = append(byPass[p.Pass], p)
+	}
+	if len(byPass["shard"]) != 3 {
+		t.Fatalf("got %d shard events, want 3", len(byPass["shard"]))
+	}
+	var shardRows int64
+	for _, p := range byPass["shard"] {
+		shardRows += p.RecordsOut
+	}
+	if shardRows != 5000 {
+		t.Fatalf("shard events sum to %d rows, want 5000", shardRows)
+	}
+	if n := len(byPass["weight"]); n != 1 {
+		t.Fatalf("got %d weight events, want 1", n)
+	}
+	if in := byPass["weight"][0].RecordsIn; in != 5000 {
+		t.Fatalf("weight pass scanned %d records, want 5000", in)
+	}
+	nt := len(orig.Tables)
+	for _, pass := range []string{"A", "B", "C"} {
+		if n := len(byPass[pass]); n != nt {
+			t.Fatalf("got %d %s events, want one per table (%d)", n, pass, nt)
+		}
+	}
+	byTable := map[string]map[string]obs.StreamPass{}
+	for _, pass := range []string{"A", "B", "C"} {
+		for _, p := range byPass[pass] {
+			if byTable[p.Table] == nil {
+				byTable[p.Table] = map[string]obs.StreamPass{}
+			}
+			byTable[p.Table][pass] = p
+		}
+	}
+	for name, pp := range byTable {
+		if pp["A"].RecordsOut != pp["B"].RecordsIn {
+			t.Fatalf("table %s: pass A emitted %d records but pass B consumed %d",
+				name, pp["A"].RecordsOut, pp["B"].RecordsIn)
+		}
+		if pp["B"].RecordsOut != pp["C"].RecordsIn {
+			t.Fatalf("table %s: pass B formed %d groups but pass C consumed %d",
+				name, pp["B"].RecordsOut, pp["C"].RecordsIn)
+		}
+		if pp["C"].RecordsOut != int64(orig.Table(name).NumRows()) {
+			t.Fatalf("table %s: pass C emitted %d rows, want %d",
+				name, pp["C"].RecordsOut, orig.Table(name).NumRows())
 		}
 	}
 }

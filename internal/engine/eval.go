@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"time"
 
 	"sam/internal/metrics"
@@ -28,6 +29,8 @@ func EvalWorkload(s *relation.Schema, queries []workload.CardQuery, h *obs.Hooks
 			Card:   got,
 			Truth:  queries[i].Card,
 			QError: qe,
+			Table:  strings.Join(queries[i].Tables, ","),
+			Preds:  len(queries[i].Preds),
 			Wall:   wall,
 		})
 	}

@@ -51,3 +51,48 @@ func stored(root *obs.Span, sink *struct{ Sp *obs.Span }) {
 	sp := root.Child("phase")
 	sink.Sp = sp
 }
+
+// The streaming spill passes end manually before every error return
+// (pass A cannot defer: its wall time feeds the StreamPass event).
+func spillPass(tspan *obs.Span, fail bool) error {
+	sp := tspan.Child("A")
+	sp.SetAttr("fan_in", 2)
+	if fail {
+		sp.End()
+		return errEarly
+	}
+	if err := work(); err != nil {
+		sp.End()
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+// Pass B wraps itself in an immediately-invoked closure so one defer
+// covers the early error returns inside.
+func spillPassClosure(tspan *obs.Span) error {
+	return func() error {
+		sp := tspan.Child("B")
+		defer sp.End()
+		if err := work(); err != nil {
+			return err
+		}
+		return nil
+	}()
+}
+
+// Shard workers run as goroutine closures; the deferred End inside the
+// FuncLit covers the worker's exits.
+func shardWorkers(psp *obs.Span, n int) {
+	for i := 0; i < n; i++ {
+		go func(shard int) {
+			sp := psp.Child("shard")
+			sp.SetAttr("shard", shard)
+			defer sp.End()
+			_ = work()
+		}(i)
+	}
+}
+
+func work() error { return nil }

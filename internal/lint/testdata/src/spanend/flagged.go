@@ -31,3 +31,26 @@ func fallThrough(root *obs.Span, n int) {
 		sp.End()
 	}
 } // want `obs span sp \(started at line \d+\) is not ended on this path`
+
+// A spill pass that ends manually must cover the error returns too; this
+// one leaks the span when the writer fails.
+func spillErrorPath(tspan *obs.Span, fail bool) error {
+	sp := tspan.Child("A")
+	sp.SetAttr("fan_in", 2)
+	if fail {
+		return errEarly // want `obs span sp \(started at line \d+\) is not ended on this path`
+	}
+	sp.End()
+	return nil
+}
+
+// Goroutine closures are function bodies too: a worker span with no End
+// leaks one open shard per worker.
+func workerLeak(psp *obs.Span, n int) {
+	for i := 0; i < n; i++ {
+		go func(shard int) {
+			sp := psp.Child("shard") // want `obs span sp is never ended; add defer sp\.End\(\)`
+			sp.SetAttr("shard", shard)
+		}(i)
+	}
+}

@@ -21,10 +21,11 @@ type Event struct {
 // inspectable without a trace file. Appends overwrite the oldest entry;
 // all methods are safe for concurrent use and no-ops on a nil log.
 type EventLog struct {
-	mu   sync.Mutex
-	buf  []Event
-	next int    // ring position of the next write
-	seq  uint64 // total events ever appended
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // ring position of the next write
+	seq   uint64 // total events ever appended
+	runID string // stamped into the /debug/events payload for offline joins
 }
 
 // DefaultEventLogSize is the ring capacity the CLIs use.
@@ -36,6 +37,28 @@ func NewEventLog(capacity int) *EventLog {
 		capacity = 1
 	}
 	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+// SetRunID stamps the ring with the owning run's ID; it appears in the
+// marshaled payload so /debug/events joins against the run's trace,
+// metrics, and run log.
+func (l *EventLog) SetRunID(id string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.runID = id
+	l.mu.Unlock()
+}
+
+// RunID returns the stamped run ID ("" when unset or on a nil log).
+func (l *EventLog) RunID() string {
+	if l == nil {
+		return ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.runID
 }
 
 // Add appends one event, evicting the oldest when full.
@@ -78,14 +101,15 @@ func (l *EventLog) Total() uint64 {
 	return l.seq
 }
 
-// MarshalJSON renders the ring as {"total": N, "events": [...]} so the
-// /debug/events endpoint shows both the retained window and how much
-// scrolled past it.
+// MarshalJSON renders the ring as {"run_id": …, "total": N, "events":
+// [...]} so the /debug/events endpoint shows the owning run, the retained
+// window, and how much scrolled past it.
 func (l *EventLog) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
+		RunID  string  `json:"run_id,omitempty"`
 		Total  uint64  `json:"total"`
 		Events []Event `json:"events"`
-	}{Total: l.Total(), Events: l.Events()})
+	}{RunID: l.RunID(), Total: l.Total(), Events: l.Events()})
 }
 
 // EventLogHooks returns hooks that append every pipeline event to the
@@ -98,6 +122,7 @@ func EventLogHooks(l *EventLog) *Hooks {
 		OnTrainStep:   func(s TrainStep) { l.Add("train_step", s) },
 		OnGenPhase:    func(p GenPhase) { l.Add("gen_phase", p) },
 		OnGenProgress: func(p GenProgress) { l.Add("gen_progress", p) },
+		OnStreamPass:  func(p StreamPass) { l.Add("stream_pass", p) },
 		OnEvalQuery:   func(q EvalQuery) { l.Add("eval_query", q) },
 	}
 }

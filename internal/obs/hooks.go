@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -56,12 +57,43 @@ type GenProgress struct {
 	ETA         time.Duration // 0 when unknown
 }
 
+// StreamPass describes one completed unit of the sharded streaming
+// pipeline (core.SampleShards / core.MaterializeStream): a shard's
+// sampling leg, the weight scan, or one table's spill passes — A
+// (partition spill), B (per-partition grouping), C (key allocation and
+// emission).
+type StreamPass struct {
+	Pass  string // "shard", "weight", "A", "B", or "C"
+	Table string // empty for shard and weight passes
+	Shard int    // shard index when Pass == "shard", else -1
+	// RecordsIn / RecordsOut count records consumed and emitted by the
+	// pass (samples streamed, spill records written, groups formed, rows
+	// emitted — per pass semantics).
+	RecordsIn, RecordsOut int64
+	// Runs is the number of spill runs the pass wrote.
+	Runs int
+	// FanIn is the heap-merge fan-in of the parent span runs consumed by
+	// pass A (0 for root tables and other passes).
+	FanIn int
+	// BytesWritten / BytesRead count spill bytes moved by the pass.
+	BytesWritten, BytesRead int64
+	// BackpressureWait is the cumulative time a shard's sampler spent
+	// blocked on the bounded chunk pipeline (Pass == "shard" only).
+	BackpressureWait time.Duration
+	Wall             time.Duration
+}
+
 // EvalQuery describes one evaluated query.
 type EvalQuery struct {
 	Card   int64 // cardinality on the evaluated database
 	Truth  int64 // recorded true cardinality
 	QError float64
-	Wall   time.Duration
+	// Table names the queried relation(s) (comma-joined for joins) and
+	// Preds counts the query's predicates — the label coordinates of the
+	// per-table / per-predicate-count Q-Error families.
+	Table string
+	Preds int
+	Wall  time.Duration
 }
 
 // Hooks is the pipeline observer: any subset of the callbacks may be set,
@@ -72,6 +104,7 @@ type Hooks struct {
 	OnTrainStep   func(TrainStep)
 	OnGenPhase    func(GenPhase)
 	OnGenProgress func(GenProgress)
+	OnStreamPass  func(StreamPass)
 	OnEvalQuery   func(EvalQuery)
 }
 
@@ -114,6 +147,21 @@ func (h *Hooks) WantsGenProgress() bool { return h != nil && h.OnGenProgress != 
 func (h *Hooks) GenProgress(p GenProgress) {
 	if h != nil && h.OnGenProgress != nil {
 		h.OnGenProgress(p)
+	}
+}
+
+// WantsStreamPass reports whether streaming-pass stats (per-pass record
+// and byte counts, backpressure wait timing) are worth measuring; the
+// streaming pipeline skips its accounting entirely when it returns false,
+// keeping the observed and unobserved runs byte-identical either way.
+func (h *Hooks) WantsStreamPass() bool { return h != nil && h.OnStreamPass != nil }
+
+// StreamPass invokes the streaming-pass callback if set. Shard events may
+// arrive from any sampling goroutine, so callbacks must be safe for
+// concurrent use (the built-in hooks are).
+func (h *Hooks) StreamPass(p StreamPass) {
+	if h != nil && h.OnStreamPass != nil {
+		h.OnStreamPass(p)
 	}
 }
 
@@ -160,6 +208,11 @@ func Merge(hooks ...*Hooks) *Hooks {
 			h.GenProgress(p)
 		}
 	}
+	out.OnStreamPass = func(p StreamPass) {
+		for _, h := range live {
+			h.StreamPass(p)
+		}
+	}
 	out.OnEvalQuery = func(q EvalQuery) {
 		for _, h := range live {
 			h.EvalQuery(q)
@@ -190,6 +243,21 @@ func MetricsHooks(r *Registry) *Hooks {
 	evalQ := r.Counter("eval_queries_total")
 	evalLat := r.Histogram("eval_query_seconds", latBounds)
 	evalQE := r.Histogram("eval_qerror", qeBounds)
+	// Q-Error as labeled families: fidelity by relation and by predicate
+	// complexity, scrapeable live instead of read off experiment output.
+	evalQEByTable := r.HistogramVec("eval_qerror_by_table", qeBounds, "table")
+	evalQEByPreds := r.HistogramVec("eval_qerror_by_preds", qeBounds, "preds")
+
+	// Streaming-pipeline families (core.SampleShards / MaterializeStream):
+	// per-pass record flow, spill traffic, run counts, merge fan-in, and
+	// the sampler's chunk-pipeline backpressure wait.
+	passSec := r.HistogramVec("stream_pass_seconds", latBounds, "pass")
+	passRecs := r.CounterVec("stream_records_total", "pass", "dir")
+	spillBytes := r.CounterVec("stream_spill_bytes_total", "pass", "dir")
+	spillRuns := r.CounterVec("stream_spill_runs_total", "pass")
+	fanIn := r.GaugeVec("stream_merge_fanin", "table")
+	bpWait := r.Histogram("stream_backpressure_wait_seconds", latBounds)
+	shardRows := r.CounterVec("stream_shard_rows_total", "shard")
 
 	tuples := r.CounterVec("gen_tuples_total", "phase")
 	phaseSec := r.HistogramVec("gen_phase_seconds", latBounds, "phase")
@@ -205,6 +273,26 @@ func MetricsHooks(r *Registry) *Hooks {
 	samplePhaseSec := phaseSec.With("sample")
 	weightPhaseSec := phaseSec.With("weight")
 	mergePhaseSec := phaseSec.With("merge")
+	// Streaming passes are a fixed vocabulary too; pre-resolving keeps the
+	// per-pass path on plain atomics (shard labels resolve lazily — one
+	// event per shard, not per row).
+	type passHandles struct {
+		sec     *Histogram
+		in, out *Counter
+		bw, br  *Counter
+		runs    *Counter
+	}
+	streamPasses := map[string]passHandles{}
+	for _, pass := range []string{"shard", "weight", "A", "B", "C"} {
+		streamPasses[pass] = passHandles{
+			sec:  passSec.With(pass),
+			in:   passRecs.With(pass, "in"),
+			out:  passRecs.With(pass, "out"),
+			bw:   spillBytes.With(pass, "written"),
+			br:   spillBytes.With(pass, "read"),
+			runs: spillRuns.With(pass),
+		}
+	}
 
 	return &Hooks{
 		OnTrainEpoch: func(e TrainEpoch) {
@@ -246,11 +334,57 @@ func MetricsHooks(r *Registry) *Hooks {
 				progress.Set(float64(p.Done) / float64(p.Total))
 			}
 		},
+		OnStreamPass: func(p StreamPass) {
+			h, ok := streamPasses[p.Pass]
+			if !ok {
+				h = passHandles{
+					sec:  passSec.With(p.Pass),
+					in:   passRecs.With(p.Pass, "in"),
+					out:  passRecs.With(p.Pass, "out"),
+					bw:   spillBytes.With(p.Pass, "written"),
+					br:   spillBytes.With(p.Pass, "read"),
+					runs: spillRuns.With(p.Pass),
+				}
+			}
+			h.sec.Observe(p.Wall.Seconds())
+			h.in.Add(p.RecordsIn)
+			h.out.Add(p.RecordsOut)
+			h.bw.Add(p.BytesWritten)
+			h.br.Add(p.BytesRead)
+			h.runs.Add(int64(p.Runs))
+			if p.Pass == "shard" {
+				shardRows.With(strconv.Itoa(p.Shard)).Add(p.RecordsOut)
+				bpWait.Observe(p.BackpressureWait.Seconds())
+			}
+			if p.FanIn > 0 {
+				fanIn.With(p.Table).Set(float64(p.FanIn))
+			}
+		},
 		OnEvalQuery: func(q EvalQuery) {
 			evalQ.Inc()
 			evalLat.Observe(q.Wall.Seconds())
 			evalQE.Observe(q.QError)
+			if q.Table != "" {
+				evalQEByTable.With(q.Table).Observe(q.QError)
+			}
+			evalQEByPreds.With(predsBucket(q.Preds)).Observe(q.QError)
 		},
+	}
+}
+
+// predsBucket coarsens a query's predicate count into the fixed label
+// vocabulary of eval_qerror_by_preds, keeping the family's cardinality
+// bounded however elaborate the workload gets.
+func predsBucket(n int) string {
+	switch {
+	case n <= 0:
+		return "0"
+	case n == 1:
+		return "1"
+	case n == 2:
+		return "2"
+	default:
+		return "3+"
 	}
 }
 
@@ -306,8 +440,27 @@ func ProgressHooks(w io.Writer) *Hooks {
 			line := fmt.Sprintf("generate: %s %d/%d (%.0f%%)  %.0f tuples/s", p.Phase, p.Done, p.Total, pct, p.Rate)
 			if p.ETA > 0 {
 				line += fmt.Sprintf("  ETA %v", p.ETA.Round(100*time.Millisecond))
+			} else if p.Done < p.Total {
+				// Zero-rate or not-yet-started windows have no finite
+				// estimate; say so instead of printing ±Inf/NaN seconds.
+				line += "  ETA unknown"
 			}
 			fmt.Fprintln(w, line)
+		},
+		OnStreamPass: func(p StreamPass) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch p.Pass {
+			case "shard":
+				fmt.Fprintf(w, "stream: shard %d sampled %d rows in %v (backpressure %v)\n",
+					p.Shard, p.RecordsOut, p.Wall.Round(time.Millisecond), p.BackpressureWait.Round(time.Millisecond))
+			case "weight":
+				fmt.Fprintf(w, "stream: weight pass scanned %d samples in %v\n",
+					p.RecordsIn, p.Wall.Round(time.Millisecond))
+			default:
+				fmt.Fprintf(w, "stream: %s pass %s: %d -> %d records in %v\n",
+					p.Table, p.Pass, p.RecordsIn, p.RecordsOut, p.Wall.Round(time.Millisecond))
+			}
 		},
 		OnEvalQuery: func(q EvalQuery) {
 			mu.Lock()

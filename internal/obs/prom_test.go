@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -181,4 +182,99 @@ func TestParsePrometheusRejects(t *testing.T) {
 	if len(fams) != 1 || len(fams[0].Samples) != 2 {
 		t.Fatalf("parsed families: %+v", fams)
 	}
+}
+
+// TestPrometheusRoundTripNonFinite pins the exposition of the IEEE
+// specials: gauges holding NaN and ±Inf must render as the spec spellings
+// and parse back to the same values.
+func TestPrometheusRoundTripNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_nan").Set(math.NaN())
+	r.Gauge("g_posinf").Set(math.Inf(1))
+	r.Gauge("g_neginf").Set(math.Inf(-1))
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"g_nan NaN", "g_posinf +Inf", "g_neginf -Inf"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	fams, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			vals[s.Name] = s.Value
+		}
+	}
+	if !math.IsNaN(vals["g_nan"]) {
+		t.Fatalf("g_nan parsed as %v, want NaN", vals["g_nan"])
+	}
+	if !math.IsInf(vals["g_posinf"], 1) {
+		t.Fatalf("g_posinf parsed as %v, want +Inf", vals["g_posinf"])
+	}
+	if !math.IsInf(vals["g_neginf"], -1) {
+		t.Fatalf("g_neginf parsed as %v, want -Inf", vals["g_neginf"])
+	}
+}
+
+// TestPrometheusRoundTripEscapedLabels drives label values through every
+// escape the exposition format defines — backslash, double quote, and
+// newline — and checks they parse back verbatim.
+func TestPrometheusRoundTripEscapedLabels(t *testing.T) {
+	values := []string{
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		`all\three" of\nthem` + "\n\\",
+		`trailing\`,
+	}
+	r := NewRegistry()
+	vec := r.CounterVec("escapes_total", "v")
+	for i, v := range values {
+		vec.With(v).Add(int64(i + 1))
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("round trip rejected: %v\n%s", err, buf.String())
+	}
+	got := map[string]float64{}
+	for _, f := range fams {
+		if f.Name != "escapes_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			got[s.Label("v")] = s.Value
+		}
+	}
+	for i, v := range values {
+		val, ok := got[v]
+		if !ok {
+			t.Fatalf("label value %q lost in round trip (got %q)", v, keysOf(got))
+		}
+		if val != float64(i+1) {
+			t.Fatalf("label value %q carries %v, want %d", v, val, i+1)
+		}
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -146,8 +147,14 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 			rate = float64(done) / el.Seconds()
 		}
 	}
-	if rate > 0 {
-		s.ETA = time.Duration(float64(remaining) / rate * float64(time.Second))
+	// A zero or non-finite rate (nothing done yet, or a degenerate window)
+	// has no finite estimate: leave ETA 0 ("unknown") rather than let the
+	// float→Duration conversion manufacture ±Inf/NaN or overflowed
+	// negative durations that downstream renderers would print as seconds.
+	if rate > 0 && !math.IsInf(rate, 0) && !math.IsNaN(rate) {
+		if eta := float64(remaining) / rate * float64(time.Second); eta < float64(math.MaxInt64) {
+			s.ETA = time.Duration(eta)
+		}
 	}
 	return s
 }

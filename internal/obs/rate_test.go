@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -104,5 +105,52 @@ func TestProgressShouldEmit(t *testing.T) {
 	time.Sleep(2 * time.Millisecond)
 	if !p.ShouldEmit(time.Millisecond) {
 		t.Fatal("ShouldEmit after interval = false")
+	}
+}
+
+// TestProgressETAUnknownCases pins the "0 = unknown" ETA contract at its
+// edges: an in-flight tracker with nothing done (no rate at all) and a
+// rate so small the estimate would overflow a Duration both report ETA 0
+// instead of manufacturing ±Inf/NaN or negative durations.
+func TestProgressETAUnknownCases(t *testing.T) {
+	// Nothing done yet: no rolling rate, no average fallback.
+	p := NewProgress(1000, time.Second)
+	if s := p.Snapshot(); s.ETA != 0 {
+		t.Fatalf("not-yet-started ETA = %v, want 0 (unknown)", s.ETA)
+	}
+
+	// Work done but the rolling window has aged out and the start clock
+	// implies a vanishing average rate: the remaining/rate quotient would
+	// overflow time.Duration, so ETA must stay 0.
+	p = NewProgress(1<<62, time.Second)
+	c := newFakeClock()
+	p.meter.now = c.now
+	p.Add(1)
+	c.advance(time.Hour) // ages the single event out of the window
+	p.start = time.Now().Add(-time.Hour)
+	s := p.Snapshot()
+	if s.ETA < 0 {
+		t.Fatalf("overflowing ETA = %v, want non-negative", s.ETA)
+	}
+	if s.ETA != 0 {
+		t.Fatalf("overflowing ETA = %v, want 0 (unknown)", s.ETA)
+	}
+
+	// A zero-rate snapshot mid-run must render as "ETA unknown", never as
+	// a numeric duration.
+	var sb strings.Builder
+	ProgressHooks(&sb).GenProgress(GenProgress{Phase: "sample", Done: 10, Total: 100, Rate: 0, ETA: 0})
+	if !strings.Contains(sb.String(), "ETA unknown") {
+		t.Fatalf("zero-rate progress line %q does not say ETA unknown", sb.String())
+	}
+	sb.Reset()
+	ProgressHooks(&sb).GenProgress(GenProgress{Phase: "sample", Done: 100, Total: 100, Rate: 50, ETA: 0})
+	if strings.Contains(sb.String(), "ETA") {
+		t.Fatalf("finished progress line %q should not mention an ETA", sb.String())
+	}
+	sb.Reset()
+	ProgressHooks(&sb).GenProgress(GenProgress{Phase: "sample", Done: 10, Total: 100, Rate: 45, ETA: 2 * time.Second})
+	if !strings.Contains(sb.String(), "ETA 2s") {
+		t.Fatalf("known-ETA progress line %q does not print the estimate", sb.String())
 	}
 }

@@ -1,0 +1,643 @@
+// Package report fuses the artifacts one SAM run leaves behind — a phase
+// trace, a metrics snapshot or Prometheus scrape, a structured run log,
+// and the benchmark reports — into a single self-contained document.
+// Inputs are joined by the run ID each artifact was stamped with
+// (obs.NewRunID; see cmd/samgen and cmd/sambench), so a report cannot
+// silently mix artifacts from different runs.
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"sam/internal/experiments"
+	"sam/internal/obs"
+)
+
+// Inputs names the artifact files to fuse. Every path is optional, but at
+// least one must be set.
+type Inputs struct {
+	TracePath    string // JSONL span trace (samgen/sambench -trace)
+	BaselinePath string // second trace to diff the first against
+	MetricsPath  string // /metrics.json snapshot OR Prometheus text scrape
+	RunLogPath   string // JSONL run log (-runlog)
+	ScalePath    string // BENCH_scale.json (sambench -scalebench)
+	TensorPath   string // BENCH_tensor.json (sambench -tensorbench)
+	// Top bounds the hot-span and diff listings (0 = 10).
+	Top int
+	// AllowMismatch downgrades a run-ID join failure to a warning in the
+	// report instead of an error.
+	AllowMismatch bool
+}
+
+// Source records where one section's data came from and which run it
+// claims. Artifacts that carry no run ID (tensor benchmarks, baseline
+// traces) report it empty.
+type Source struct {
+	Kind  string
+	Path  string
+	RunID string
+}
+
+// Table is one rendered table: a header row plus data rows, all strings.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Section is one report section: a title, prose paragraphs, an optional
+// table, and an optional preformatted block (trace trees keep their
+// fixed-width alignment).
+type Section struct {
+	Title string
+	Text  []string
+	Table *Table
+	Pre   string
+}
+
+// Report is the fused run report, renderable as Markdown or HTML.
+type Report struct {
+	Title    string
+	RunID    string // the agreed join key ("" when no input carried one)
+	Warning  string // non-fatal join diagnostics (AllowMismatch)
+	Sources  []Source
+	Sections []Section
+}
+
+// Build loads every named artifact, validates the run-ID join, and
+// assembles the report sections.
+func Build(in Inputs) (*Report, error) {
+	if in.TracePath == "" && in.MetricsPath == "" && in.RunLogPath == "" &&
+		in.ScalePath == "" && in.TensorPath == "" {
+		return nil, fmt.Errorf("report: no inputs; name at least one artifact")
+	}
+	top := in.Top
+	if top <= 0 {
+		top = 10
+	}
+	r := &Report{Title: "SAM run report"}
+
+	var traceStats, baseStats []obs.PathStat
+	if in.TracePath != "" {
+		recs, err := readTraceFile(in.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		traceStats = obs.AnalyzeTrace(recs)
+		r.Sources = append(r.Sources, Source{Kind: "trace", Path: in.TracePath, RunID: traceRunID(recs)})
+	}
+	if in.BaselinePath != "" {
+		if in.TracePath == "" {
+			return nil, fmt.Errorf("report: -baseline needs -trace to diff against")
+		}
+		recs, err := readTraceFile(in.BaselinePath)
+		if err != nil {
+			return nil, err
+		}
+		baseStats = obs.AnalyzeTrace(recs)
+		// Baselines are a different run by design: listed, never joined.
+		r.Sources = append(r.Sources, Source{Kind: "baseline", Path: in.BaselinePath})
+	}
+
+	var snap *obs.Snapshot
+	var fams []obs.PromFamily
+	if in.MetricsPath != "" {
+		buf, err := os.ReadFile(in.MetricsPath)
+		if err != nil {
+			return nil, err
+		}
+		id := ""
+		if isJSONSnapshot(buf) {
+			var s obs.Snapshot
+			if err := json.Unmarshal(buf, &s); err != nil {
+				return nil, fmt.Errorf("report: %s: %w", in.MetricsPath, err)
+			}
+			snap = &s
+			id = obs.RunIDFromSnapshot(s)
+		} else {
+			fams, err = obs.ParsePrometheus(bytes.NewReader(buf))
+			if err != nil {
+				return nil, fmt.Errorf("report: %s: %w", in.MetricsPath, err)
+			}
+			id = obs.RunIDFromFamilies(fams)
+		}
+		r.Sources = append(r.Sources, Source{Kind: "metrics", Path: in.MetricsPath, RunID: id})
+	}
+
+	var entries []obs.RunLogEntry
+	if in.RunLogPath != "" {
+		f, err := os.Open(in.RunLogPath)
+		if err != nil {
+			return nil, err
+		}
+		entries, err = obs.ReadRunLog(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", in.RunLogPath, err)
+		}
+		r.Sources = append(r.Sources, Source{Kind: "runlog", Path: in.RunLogPath, RunID: entries[0].RunID})
+	}
+
+	var scale *experiments.ScaleBenchReport
+	if in.ScalePath != "" {
+		if err := readJSON(in.ScalePath, &scale); err != nil {
+			return nil, err
+		}
+		r.Sources = append(r.Sources, Source{Kind: "scale", Path: in.ScalePath, RunID: scale.RunID})
+	}
+	var tensor *experiments.TensorBenchReport
+	if in.TensorPath != "" {
+		if err := readJSON(in.TensorPath, &tensor); err != nil {
+			return nil, err
+		}
+		r.Sources = append(r.Sources, Source{Kind: "tensor", Path: in.TensorPath})
+	}
+
+	if err := r.joinRunIDs(in.AllowMismatch); err != nil {
+		return nil, err
+	}
+
+	r.Sections = append(r.Sections, sourcesSection(r))
+	if traceStats != nil {
+		r.Sections = append(r.Sections, traceSection(traceStats, top))
+	}
+	if baseStats != nil {
+		r.Sections = append(r.Sections, diffSection(baseStats, traceStats, top))
+	}
+	if s := qerrorSection(entries, snap, fams); s != nil {
+		r.Sections = append(r.Sections, *s)
+	}
+	if s := streamSection(entries); s != nil {
+		r.Sections = append(r.Sections, *s)
+	}
+	if scale != nil {
+		r.Sections = append(r.Sections, scaleSection(scale))
+	}
+	if tensor != nil {
+		r.Sections = append(r.Sections, tensorSection(tensor))
+	}
+	if snap != nil {
+		r.Sections = append(r.Sections, snapshotSection(snap))
+	} else if fams != nil {
+		r.Sections = append(r.Sections, familiesSection(fams))
+	}
+	return r, nil
+}
+
+// joinRunIDs enforces that every run-ID-carrying input claims the same
+// run. Baselines and tensor reports are exempt (no RunID recorded).
+func (r *Report) joinRunIDs(allowMismatch bool) error {
+	ids := map[string][]string{} // id -> "kind(path)" claimants
+	var order []string
+	for _, s := range r.Sources {
+		if s.RunID == "" {
+			continue
+		}
+		if _, seen := ids[s.RunID]; !seen {
+			order = append(order, s.RunID)
+		}
+		ids[s.RunID] = append(ids[s.RunID], fmt.Sprintf("%s(%s)", s.Kind, s.Path))
+	}
+	switch len(order) {
+	case 0:
+		return nil
+	case 1:
+		r.RunID = order[0]
+		return nil
+	}
+	var parts []string
+	for _, id := range order {
+		parts = append(parts, fmt.Sprintf("%s from %s", id, strings.Join(ids[id], ", ")))
+	}
+	msg := "inputs disagree on the run ID: " + strings.Join(parts, "; ")
+	if !allowMismatch {
+		return fmt.Errorf("report: %s (re-run with matching artifacts or pass -allow-mismatch)", msg)
+	}
+	r.RunID = order[0]
+	r.Warning = msg
+	return nil
+}
+
+func readTraceFile(path string) ([]obs.SpanRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// traceRunID pulls the run_id attribute off the trace's root span.
+func traceRunID(recs []obs.SpanRecord) string {
+	for _, rec := range recs {
+		if rec.Parent != 0 {
+			continue
+		}
+		if id, ok := rec.Attrs["run_id"].(string); ok {
+			return id
+		}
+	}
+	return ""
+}
+
+func readJSON(path string, v any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("report: %s: %w", path, err)
+	}
+	return nil
+}
+
+// isJSONSnapshot distinguishes a /metrics.json payload from Prometheus
+// text by the first non-space byte.
+func isJSONSnapshot(buf []byte) bool {
+	trimmed := bytes.TrimLeft(buf, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}
+
+func sourcesSection(r *Report) Section {
+	t := &Table{Header: []string{"kind", "path", "run id"}}
+	for _, s := range r.Sources {
+		id := s.RunID
+		if id == "" {
+			id = "-"
+		}
+		t.Rows = append(t.Rows, []string{s.Kind, s.Path, id})
+	}
+	var text []string
+	if r.RunID != "" {
+		text = append(text, fmt.Sprintf("Run ID: `%s`", r.RunID))
+	}
+	if r.Warning != "" {
+		text = append(text, "**Warning:** "+r.Warning)
+	}
+	return Section{Title: "Inputs", Text: text, Table: t}
+}
+
+func traceSection(stats []obs.PathStat, top int) Section {
+	var sb strings.Builder
+	obs.WriteTraceTree(&sb, stats)
+	sb.WriteString("\ntop spans by self time:\n")
+	obs.WriteTopSpans(&sb, stats, top)
+	return Section{
+		Title: "Phase trace",
+		Text: []string{fmt.Sprintf("%d span paths; total and self wall time with allocation attribution "+
+			"(self = total minus direct children).", len(stats))},
+		Pre: sb.String(),
+	}
+}
+
+func diffSection(base, cur []obs.PathStat, top int) Section {
+	deltas := obs.DiffTraces(base, cur)
+	if top > 0 && len(deltas) > top {
+		deltas = deltas[:top]
+	}
+	var sb strings.Builder
+	obs.WriteTraceDiff(&sb, deltas)
+	return Section{
+		Title: "Trace diff vs baseline",
+		Text:  []string{"Per-span wall and allocation deltas against the baseline trace (a = baseline, b = this run), largest absolute wall change first."},
+		Pre:   sb.String(),
+	}
+}
+
+// qerrorSection summarizes evaluation fidelity. The run log's eval_query
+// entries give exact per-query values (quantiles computed here); absent a
+// run log, the metrics snapshot's eval_qerror_by_* histogram summaries
+// stand in.
+func qerrorSection(entries []obs.RunLogEntry, snap *obs.Snapshot, fams []obs.PromFamily) *Section {
+	var qs []obs.EvalQuery
+	for _, e := range entries {
+		if e.Kind != "eval_query" {
+			continue
+		}
+		var q obs.EvalQuery
+		if err := json.Unmarshal(e.Data, &q); err == nil {
+			qs = append(qs, q)
+		}
+	}
+	if len(qs) > 0 {
+		t := &Table{Header: []string{"group", "queries", "mean", "median", "p90", "max"}}
+		t.Rows = append(t.Rows, qerrorRow("all", qs))
+		for _, group := range groupKeys(qs, func(q obs.EvalQuery) string { return q.Table }) {
+			t.Rows = append(t.Rows, qerrorRow("table "+group.key, group.qs))
+		}
+		for _, group := range groupKeys(qs, func(q obs.EvalQuery) string { return predsLabel(q.Preds) }) {
+			t.Rows = append(t.Rows, qerrorRow(group.key+" preds", group.qs))
+		}
+		return &Section{
+			Title: "Q-Error",
+			Text:  []string{fmt.Sprintf("%d evaluated queries from the run log, grouped by relation and predicate count.", len(qs))},
+			Table: t,
+		}
+	}
+	// Fall back to the labeled histogram families.
+	t := &Table{Header: []string{"family", "count", "mean", "p50", "p90", "p99", "max"}}
+	if snap != nil {
+		keys := sortedKeys(snap.Histograms)
+		for _, k := range keys {
+			if !strings.HasPrefix(k, "eval_qerror") {
+				continue
+			}
+			h := snap.Histograms[k]
+			t.Rows = append(t.Rows, []string{k, fmt.Sprint(h.Count),
+				fmtF(h.Mean), fmtF(h.P50), fmtF(h.P90), fmtF(h.P99), fmtF(h.Max)})
+		}
+	} else {
+		for _, fam := range fams {
+			if !strings.HasPrefix(fam.Name, "eval_qerror") || fam.Type != "histogram" {
+				continue
+			}
+			for _, row := range famHistRows(fam) {
+				t.Rows = append(t.Rows, row)
+			}
+		}
+	}
+	if len(t.Rows) == 0 {
+		return nil
+	}
+	return &Section{
+		Title: "Q-Error",
+		Text:  []string{"Q-Error distribution from the metrics payload's eval_qerror families."},
+		Table: t,
+	}
+}
+
+type qGroup struct {
+	key string
+	qs  []obs.EvalQuery
+}
+
+func groupKeys(qs []obs.EvalQuery, key func(obs.EvalQuery) string) []qGroup {
+	byKey := map[string][]obs.EvalQuery{}
+	for _, q := range qs {
+		k := key(q)
+		if k == "" {
+			continue
+		}
+		byKey[k] = append(byKey[k], q)
+	}
+	out := make([]qGroup, 0, len(byKey))
+	for _, k := range sortedKeys(byKey) {
+		out = append(out, qGroup{key: k, qs: byKey[k]})
+	}
+	return out
+}
+
+func predsLabel(n int) string {
+	switch {
+	case n <= 0:
+		return "0"
+	case n <= 2:
+		return fmt.Sprint(n)
+	default:
+		return "3+"
+	}
+}
+
+func qerrorRow(label string, qs []obs.EvalQuery) []string {
+	vals := make([]float64, len(qs))
+	sum := 0.0
+	for i, q := range qs {
+		vals[i] = q.QError
+		sum += q.QError
+	}
+	sort.Float64s(vals)
+	quant := func(p float64) float64 {
+		return vals[int(p*float64(len(vals)-1)+0.5)]
+	}
+	return []string{label, fmt.Sprint(len(qs)), fmtF(sum / float64(len(qs))),
+		fmtF(quant(0.5)), fmtF(quant(0.9)), fmtF(vals[len(vals)-1])}
+}
+
+// famHistRows summarizes one parsed Prometheus histogram family as
+// count/mean rows (quantiles are not recoverable from buckets exactly, so
+// they are omitted in scrape-driven reports).
+func famHistRows(fam obs.PromFamily) [][]string {
+	type agg struct {
+		sum   float64
+		count float64
+	}
+	byLabels := map[string]*agg{}
+	var order []string
+	for _, s := range fam.Samples {
+		var lbls []string
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				continue
+			}
+			lbls = append(lbls, l.Name+"="+l.Value)
+		}
+		key := strings.Join(lbls, ",")
+		a := byLabels[key]
+		if a == nil {
+			a = &agg{}
+			byLabels[key] = a
+			order = append(order, key)
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_sum"):
+			a.sum = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			a.count = s.Value
+		}
+	}
+	var out [][]string
+	for _, key := range order {
+		a := byLabels[key]
+		if a.count == 0 {
+			continue
+		}
+		name := fam.Name
+		if key != "" {
+			name += "{" + key + "}"
+		}
+		out = append(out, []string{name, fmt.Sprint(int64(a.count)),
+			fmtF(a.sum / a.count), "-", "-", "-", "-"})
+	}
+	return out
+}
+
+// streamSection totals the run log's stream_pass events per pass: record
+// flow, spill traffic, runs, and wall time, plus shard-level backpressure.
+func streamSection(entries []obs.RunLogEntry) *Section {
+	type agg struct {
+		events         int
+		in, out        int64
+		runs           int
+		bytesW, bytesR int64
+		wall, bp       time.Duration
+	}
+	byPass := map[string]*agg{}
+	for _, e := range entries {
+		if e.Kind != "stream_pass" {
+			continue
+		}
+		var p obs.StreamPass
+		if err := json.Unmarshal(e.Data, &p); err != nil {
+			continue
+		}
+		a := byPass[p.Pass]
+		if a == nil {
+			a = &agg{}
+			byPass[p.Pass] = a
+		}
+		a.events++
+		a.in += p.RecordsIn
+		a.out += p.RecordsOut
+		a.runs += p.Runs
+		a.bytesW += p.BytesWritten
+		a.bytesR += p.BytesRead
+		a.wall += p.Wall
+		a.bp += p.BackpressureWait
+	}
+	if len(byPass) == 0 {
+		return nil
+	}
+	t := &Table{Header: []string{"pass", "events", "records in", "records out", "runs", "spill written", "spill read", "wall", "backpressure"}}
+	for _, pass := range []string{"shard", "weight", "A", "B", "C"} {
+		a := byPass[pass]
+		if a == nil {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{pass, fmt.Sprint(a.events),
+			fmt.Sprint(a.in), fmt.Sprint(a.out), fmt.Sprint(a.runs),
+			fmtBytes(a.bytesW), fmtBytes(a.bytesR),
+			fmtDur(a.wall), fmtDur(a.bp)})
+	}
+	return &Section{
+		Title: "Streaming passes",
+		Text: []string{"Per-pass totals from the run log's stream_pass events " +
+			"(shard = sampling legs; weight = sample scan; A/B/C = spill partition, grouping, and allocation passes summed across tables)."},
+		Table: t,
+	}
+}
+
+func scaleSection(rep *experiments.ScaleBenchReport) Section {
+	t := &Table{Header: []string{"metric", "value"}}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("rows", fmt.Sprint(rep.Rows))
+	add("shards × workers", fmt.Sprintf("%d × %d (batch %d, %d partitions)", rep.Shards, rep.Workers, rep.Batch, rep.Partitions))
+	add("rows/sec end-to-end", fmt.Sprintf("%.0f", rep.RowsPerSec))
+	add("rows/sec sampling", fmt.Sprintf("%.0f", rep.SampleRowsPerSec))
+	add("sample wall", fmt.Sprintf("%dms", rep.SampleWallMs))
+	add("merge wall", fmt.Sprintf("%dms (weight %dms, A %dms, B %dms, C %dms)",
+		rep.MergeWallMs, rep.WeightWallMs, rep.PassAWallMs, rep.PassBWallMs, rep.PassCWallMs))
+	add("total wall", fmt.Sprintf("%dms", rep.TotalWallMs))
+	add("peak heap", fmtBytes(rep.PeakHeapBytes))
+	if rep.PeakRSSBytes > 0 {
+		add("peak RSS", fmtBytes(rep.PeakRSSBytes))
+	}
+	add("shard bytes", fmtBytes(rep.ShardBytes))
+	text := []string{rep.Description}
+	if rep.Meta.GoVersion != "" {
+		text = append(text, "Built with "+rep.Meta.String()+".")
+	}
+	return Section{Title: "Scale benchmark", Text: text, Table: t}
+}
+
+func tensorSection(rep *experiments.TensorBenchReport) Section {
+	t := &Table{Header: []string{"benchmark", "ns/op", "speedup vs seed", "allocs/op", "B/op"}}
+	for _, res := range rep.Results {
+		t.Rows = append(t.Rows, []string{res.Name, fmt.Sprint(res.NsOp),
+			fmt.Sprintf("%.2fx", res.Speedup), fmt.Sprint(res.AllocsOp), fmt.Sprint(res.BytesOp)})
+	}
+	return Section{Title: "Tensor benchmarks", Text: []string{rep.Description}, Table: t}
+}
+
+func snapshotSection(snap *obs.Snapshot) Section {
+	var sb strings.Builder
+	if len(snap.Counters) > 0 {
+		sb.WriteString("counters:\n")
+		for _, k := range sortedKeys(snap.Counters) {
+			fmt.Fprintf(&sb, "  %-56s %d\n", k, snap.Counters[k])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		sb.WriteString("gauges:\n")
+		for _, k := range sortedKeys(snap.Gauges) {
+			fmt.Fprintf(&sb, "  %-56s %g\n", k, snap.Gauges[k])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		sb.WriteString("histograms:                                                   count       mean        p50        p90        p99        max\n")
+		for _, k := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[k]
+			fmt.Fprintf(&sb, "  %-56s %7d %10.4g %10.4g %10.4g %10.4g %10.4g\n",
+				k, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+	return Section{
+		Title: "Metrics",
+		Text:  []string{"Full registry snapshot (labeled children folded in as name{label=\"value\"})."},
+		Pre:   sb.String(),
+	}
+}
+
+func familiesSection(fams []obs.PromFamily) Section {
+	var sb strings.Builder
+	for _, fam := range fams {
+		fmt.Fprintf(&sb, "%s (%s, %d samples)\n", fam.Name, fam.Type, len(fam.Samples))
+		if fam.Type == "histogram" {
+			continue // bucket series are noise in a summary
+		}
+		for _, s := range fam.Samples {
+			var lbls []string
+			for _, l := range s.Labels {
+				lbls = append(lbls, fmt.Sprintf("%s=%q", l.Name, l.Value))
+			}
+			name := s.Name
+			if len(lbls) > 0 {
+				name += "{" + strings.Join(lbls, ",") + "}"
+			}
+			fmt.Fprintf(&sb, "  %-56s %g\n", name, s.Value)
+		}
+	}
+	return Section{
+		Title: "Metrics",
+		Text:  []string{"Parsed Prometheus scrape (histogram bucket series elided)."},
+		Pre:   sb.String(),
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fmtF(v float64) string {
+	return fmt.Sprintf("%.3g", v)
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

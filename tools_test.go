@@ -159,6 +159,93 @@ func TestSambenchTraceSmoke(t *testing.T) {
 	}
 }
 
+// TestSamreportSmoke is the run-report gate: it runs the smoke experiment
+// with every artifact flag enabled — trace, run log, metrics dump — then
+// fuses them with samreport and fails unless the artifacts join on one
+// run ID and the report carries the expected sections. A change that
+// breaks run-ID stamping on any surface fails here.
+func TestSamreportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	sambench := filepath.Join(dir, "sambench")
+	samreport := filepath.Join(dir, "samreport")
+	for bin, pkg := range map[string]string{sambench: "./cmd/sambench", samreport: "./cmd/samreport"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	runlogPath := filepath.Join(dir, "run.log")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	cmd := exec.Command(sambench, "-scale", "smoke", "-exp", "tab1",
+		"-trace", tracePath, "-runlog", runlogPath, "-metrics-out", metricsPath)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sambench smoke: %v\n%s", err, out)
+	}
+
+	// Every artifact must exist and claim the same run as the run log.
+	f, err := os.Open(runlogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := obs.ReadRunLog(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("run log invalid: %v", err)
+	}
+	runID := entries[0].RunID
+	if runID == "" {
+		t.Fatal("run log carries no run ID")
+	}
+
+	rep, err := exec.Command(samreport, "-trace", tracePath, "-runlog", runlogPath,
+		"-metrics", metricsPath, "-top", "5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("samreport: %v\n%s", err, rep)
+	}
+	for _, want := range []string{
+		"# SAM run report",
+		"Run ID: `" + runID + "`",
+		"## Phase trace",
+		"## Q-Error",
+		"## Metrics",
+	} {
+		if !strings.Contains(string(rep), want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+
+	// The HTML renderer must produce a self-contained document to a file.
+	htmlPath := filepath.Join(dir, "report.html")
+	if out, err := exec.Command(samreport, "-trace", tracePath, "-runlog", runlogPath,
+		"-format", "html", "-o", htmlPath).CombinedOutput(); err != nil {
+		t.Fatalf("samreport -format html: %v\n%s", err, out)
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "<!DOCTYPE html>") || !strings.Contains(string(html), runID) {
+		t.Fatalf("html report malformed:\n%.400s", html)
+	}
+
+	// Mixing artifacts from different runs must fail the join.
+	second := filepath.Join(dir, "trace2.jsonl")
+	if out, err := exec.Command(sambench, "-scale", "smoke", "-exp", "tab1",
+		"-trace", second).CombinedOutput(); err != nil {
+		t.Fatalf("second sambench run: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(samreport, "-trace", second, "-runlog", runlogPath).CombinedOutput(); err == nil {
+		t.Fatalf("samreport accepted artifacts from different runs:\n%s", out)
+	} else if !strings.Contains(string(out), "disagree on the run ID") {
+		t.Fatalf("mismatch error not surfaced:\n%s", out)
+	}
+}
+
 // TestSambenchPrometheusEndpoint is the exposition-format gate: it runs
 // the smoke experiment with a live -debug-addr, scrapes /metrics mid-run
 // the way a Prometheus server would, and fails unless the payload passes
