@@ -18,8 +18,8 @@ SCALE_OUT ?= BENCH_scale.json
 SCALE_MIN_RPS ?= 20000
 SCALE_MAX_MEM ?= 256
 
-.PHONY: all build test race lint fmt vet staticcheck samlint vuln bench-gate \
-	scale-bench scale-gate trace-smoke
+.PHONY: all build test race race-test lint fmt vet staticcheck samlint vuln \
+	bench-gate scale-bench scale-gate trace-smoke
 
 all: build test
 
@@ -31,6 +31,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## race-test exercises the concurrency-heavy layers under the race
+## detector: the streaming core, obs, and relation test suites, then a
+## real smoke-scale sharded generation run with worker fan-out enabled —
+## the dynamic complement to what goleak/lockguard prove statically.
+race-test:
+	$(GO) test -race -count=1 ./internal/core/... ./internal/obs/... ./internal/relation/...
+	$(GO) run -race ./cmd/sambench -scale smoke -exp tab1
 
 ## lint runs the full static-analysis stack in CI order: formatting,
 ## go vet, pinned staticcheck, then the project's own samlint suite.
@@ -51,8 +59,15 @@ vet:
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
+# samlint builds the linter once and self-checks it on its own source
+# first — the analysis engine and the analyzer suite must pass their own
+# lint (fixtures under testdata are invisible to go list) — and only then
+# analyzes the full module. A bug that makes samlint flag itself fails
+# fast here, before its verdicts on the rest of the repo are trusted.
 samlint:
-	$(GO) run ./cmd/samlint ./...
+	$(GO) build -o /tmp/samlint ./cmd/samlint
+	/tmp/samlint ./internal/lint/... ./cmd/samlint
+	/tmp/samlint ./...
 
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...

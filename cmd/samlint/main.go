@@ -17,9 +17,12 @@
 //	-list    print the analyzers in the suite and exit
 //	-fix     apply suggested fixes in place, then re-report what remains
 //	-v       also show suppressed findings with their allow reasons
+//	-json    emit findings as a JSON array (suppressed ones included,
+//	         marked) instead of the line-oriented text format
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +36,7 @@ func main() {
 	list := flag.Bool("list", false, "print the analyzers in the suite and exit")
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
 	verbose := flag.Bool("v", false, "also show suppressed findings")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	version := flag.Bool("version", false, "print build metadata and exit")
 	flag.Parse()
 
@@ -57,13 +61,13 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	if err := run(patterns, *fix, *verbose); err != nil {
+	if err := run(patterns, *fix, *verbose, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "samlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, fix, verbose bool) error {
+func run(patterns []string, fix, verbose, jsonOut bool) error {
 	loader := analysis.NewLoader()
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
@@ -93,6 +97,9 @@ func run(patterns []string, fix, verbose bool) error {
 		}
 	}
 
+	if jsonOut {
+		return reportJSON(findings)
+	}
 	bad := 0
 	for _, f := range findings {
 		if f.Suppressed {
@@ -106,6 +113,51 @@ func run(patterns []string, fix, verbose bool) error {
 	}
 	if bad > 0 {
 		fmt.Printf("samlint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// jsonFinding is the machine-readable projection of one finding, stable
+// for editor integrations and the CI problem matcher's JSON consumers.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Fixable    bool   `json:"fixable,omitempty"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// reportJSON prints every finding — suppressed ones included, marked —
+// as one JSON array, and keeps the text mode's exit contract: status 1
+// when any unsuppressed finding remains.
+func reportJSON(findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	bad := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			bad++
+		}
+		out = append(out, jsonFinding{
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Fixable:    len(f.Fixes) > 0,
+			Suppressed: f.Suppressed,
+			Reason:     f.SuppressReason,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if bad > 0 {
 		os.Exit(1)
 	}
 	return nil

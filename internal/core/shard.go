@@ -140,6 +140,7 @@ func OpenShardSet(dir string) (*ShardSet, error) {
 		set.Total += rows
 	}
 	if len(set.Paths) == 0 {
+		//lint:allow closeleak the loop only breaks when OpenShardFile failed, so r is nil here; every opened reader was closed in the loop body
 		return nil, fmt.Errorf("core: no shard files in %s", dir)
 	}
 	return set, nil

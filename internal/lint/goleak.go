@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sam/internal/lint/analysis"
+)
+
+// GoLeak enforces the goroutine-completion contract in the concurrent
+// packages (core's streaming fan-in/fan-out, obs's debug server): a
+// goroutine launched with a function literal must signal completion —
+// WaitGroup.Done, close(ch), or a channel send — on every exit path, or
+// the waiter on the other side hangs. The blessed shapes are exactly the
+// ones the repo uses: `defer wg.Done()`, `defer close(done)`, and a
+// final send on every path (the shard writer's `writeErr <- err`).
+//
+// The check is per-path on the CFG: a deferred signal covers everything,
+// and otherwise analysis.UncoveredExit must find no exit that skips a
+// signal. Goroutines that never exit (event loops) are fine by
+// construction, and goroutines launched on named functions are skipped —
+// the analysis is intraprocedural.
+var GoLeak = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "require goroutines in core/obs to signal completion (WaitGroup.Done, " +
+		"close, or channel send) on every exit path",
+	Scope: func(importPath string) bool {
+		return importPath == "sam/internal/core" || importPath == obsPath
+	},
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+			inspectShallow(body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true // named function: body not visible here
+				}
+				checkGoroutine(pass, g, lit)
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+func checkGoroutine(pass *analysis.Pass, g *ast.GoStmt, lit *ast.FuncLit) {
+	cfg := analysis.BuildCFG(lit.Body)
+
+	// A deferred signal — defer wg.Done(), defer close(done), or a
+	// deferred closure containing one — runs on every exit.
+	for _, d := range cfg.Defers {
+		if isCompletionCall(pass, d.Call) {
+			return
+		}
+		if dl, ok := d.Call.Fun.(*ast.FuncLit); ok && containsSignal(pass, dl.Body) {
+			return
+		}
+	}
+
+	signal := func(n ast.Node) bool { return isSignalStmt(pass, n) }
+	if _, uncovered := cfg.UncoveredExit(nil, signal); uncovered {
+		pass.Reportf(g.Pos(),
+			"goroutine can exit without signaling completion (no WaitGroup.Done, close, or channel send on some path); a waiter can hang")
+	}
+}
+
+// isSignalStmt reports whether a CFG node is a completion signal at
+// statement level: a channel send, or an expression statement calling
+// close(ch) or WaitGroup.Done.
+func isSignalStmt(pass *analysis.Pass, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+		return ok && isCompletionCall(pass, call)
+	}
+	return false
+}
+
+// containsSignal reports whether body (of a deferred closure) contains a
+// completion signal anywhere, without descending into further nested
+// literals.
+func containsSignal(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if isSignalStmt(pass, n) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isCompletionCall reports whether call is close(ch) or a
+// (*sync.WaitGroup).Done invocation.
+func isCompletionCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		// The close builtin, not a shadowing declaration.
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+			return true
+		}
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	return fn.Name() == "Done" && strings.HasPrefix(fn.FullName(), "(*sync.WaitGroup).")
+}

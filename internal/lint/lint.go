@@ -16,6 +16,17 @@
 //     are never silently dropped.
 //   - obsnil: observer callbacks are invoked through their nil-safe
 //     wrappers, never directly off the Hooks struct.
+//   - maporder: values derived from map iteration order never reach
+//     writers, hashes, RNG seeding, or heap comparators (taint analysis
+//     over def-use chains; sort.* sanitizes).
+//   - goleak: goroutines in core/obs signal completion (WaitGroup.Done,
+//     close, or channel send) on every CFG exit path.
+//   - lockguard: fields written under a struct's mutex anywhere in a
+//     package are never accessed bare elsewhere in it.
+//   - closeleak: file-backed handles (os files, relation shard files)
+//     reach Close on every path or are explicitly handed off.
+//   - veccard: labeled-metric With() handles are pre-resolved outside
+//     hot loops, and label values come from bounded sets.
 //
 // The suite runs via `go run ./cmd/samlint ./...` and in the CI lint job.
 // Intentional exceptions carry a //lint:allow <analyzer> <reason> marker
@@ -67,6 +78,11 @@ func Suite() []*analysis.Analyzer {
 		GraphReset,
 		ErrPropagate,
 		ObsNil,
+		MapOrder,
+		GoLeak,
+		LockGuard,
+		CloseLeak,
+		VecCard,
 	}
 }
 

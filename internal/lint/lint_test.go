@@ -2,6 +2,7 @@ package lint
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -91,10 +92,98 @@ func TestObsNilFixtures(t *testing.T) {
 	analysistest.Run(t, fixtureLoader(), ObsNil, "testdata/src/obsnil")
 }
 
+func TestMapOrderFixtures(t *testing.T) {
+	diags := analysistest.Run(t, fixtureLoader(), MapOrder, "testdata/src/maporder")
+	roundTripFixes(t, MapOrder, "testdata/src/maporder", diags)
+}
+
+func TestGoLeakFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureLoader(), GoLeak, "testdata/src/goleak")
+}
+
+func TestLockGuardFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureLoader(), LockGuard, "testdata/src/lockguard")
+}
+
+func TestCloseLeakFixtures(t *testing.T) {
+	diags := analysistest.Run(t, fixtureLoader(), CloseLeak, "testdata/src/closeleak")
+	roundTripFixes(t, CloseLeak, "testdata/src/closeleak", diags)
+}
+
+func TestVecCardFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureLoader(), VecCard, "testdata/src/veccard")
+}
+
+// roundTripFixes applies every suggested fix a fixture run produced,
+// writes the patched package to a temp dir, reruns the analyzer on it,
+// and asserts the findings are gone: the mechanical rewrite must satisfy
+// the analyzer that demanded it.
+func roundTripFixes(t *testing.T, a *analysis.Analyzer, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var findings []analysis.Finding
+	for _, d := range diags {
+		if len(d.SuggestedFixes) > 0 {
+			findings = append(findings, analysis.Finding{Fixes: d.SuggestedFixes})
+		}
+	}
+	if len(findings) == 0 {
+		t.Fatal("no suggested fixes to round-trip")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[path] = src
+	}
+	patched, err := analysis.ApplyFixes(fixtureLoader().Fset, sources, findings)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	tmp := t.TempDir()
+	for path, src := range sources {
+		if p, ok := patched[path]; ok {
+			src = p
+		}
+		if err := os.WriteFile(filepath.Join(tmp, filepath.Base(path)), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := fixtureLoader().LoadDir(tmp, "samlint.fixture/"+a.Name+"_fixed")
+	if err != nil {
+		t.Fatalf("reloading fixed fixture: %v", err)
+	}
+	var rerun []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fixtureLoader().Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Sources:   pkg.Sources,
+		Report:    func(d analysis.Diagnostic) { rerun = append(rerun, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rerun {
+		t.Errorf("finding survives its own fix: %s: %s", fixtureLoader().Fset.Position(d.Pos), d.Message)
+	}
+}
+
 func TestSuiteShape(t *testing.T) {
 	suite := Suite()
-	if len(suite) < 5 {
-		t.Fatalf("suite has %d analyzers, want at least 5", len(suite))
+	if len(suite) < 11 {
+		t.Fatalf("suite has %d analyzers, want at least 11", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
@@ -106,7 +195,10 @@ func TestSuiteShape(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, name := range []string{"detrand", "hotalloc", "spanend", "graphreset", "errpropagate"} {
+	for _, name := range []string{
+		"detrand", "hotalloc", "spanend", "graphreset", "errpropagate", "obsnil",
+		"maporder", "goleak", "lockguard", "closeleak", "veccard",
+	} {
 		if !seen[name] {
 			t.Errorf("suite is missing required analyzer %q", name)
 		}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sam/internal/lint/analysis"
+)
+
+// LockGuard is a package-level consistency check for mutex-protected
+// state, seeded from the obs registry pattern (and the model-registry
+// shape samserve will need): if some function writes a struct field
+// while holding that struct's mutex, then every other function in the
+// package must also hold the mutex to touch the field. A bare access is
+// a data race the -race CI job may or may not catch at runtime; here it
+// is caught structurally.
+//
+// The inference is two-pass and intraprocedural. Pass one finds, for
+// each named struct with a sync.Mutex/RWMutex field (named or embedded),
+// the set of fields written in function bodies that lock that mutex —
+// the protected set. Pass two flags reads or writes of protected fields
+// in bodies that never lock. Exemptions keep the signal clean:
+// constructors (New*/new*), receivers constructed locally in the same
+// body, functions whose name contains "Locked" (the caller-holds-lock
+// convention), and fields of sync/atomic type (their safety does not
+// come from the mutex).
+var LockGuard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "flag bare accesses to struct fields that other functions in the " +
+		"package only touch while holding the struct's mutex",
+	Run: runLockGuard,
+}
+
+// fieldAccess records one selector expression touching a struct field.
+type fieldAccess struct {
+	field *types.Var
+	owner *types.Named
+	sel   *ast.SelectorExpr
+	write bool
+}
+
+// lockScope summarizes one function body for the lockguard passes.
+type lockScope struct {
+	name     string
+	locked   map[*types.Named]string // struct type -> mutex description
+	accesses []fieldAccess
+	fresh    map[types.Object]bool // locals built from composite literals / new
+}
+
+func runLockGuard(pass *analysis.Pass) error {
+	mutexed := mutexedStructs(pass)
+	if len(mutexed) == 0 {
+		return nil
+	}
+
+	var scopes []*lockScope
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+			scopes = append(scopes, summarizeLockScope(pass, name, body, mutexed))
+		})
+	}
+
+	// Pass one: the protected set — fields written under their struct's
+	// mutex anywhere in the package.
+	type key struct {
+		field *types.Var
+	}
+	protected := make(map[key]string) // field -> "T.mu" description
+	for _, sc := range scopes {
+		for _, acc := range sc.accesses {
+			if !acc.write {
+				continue
+			}
+			if mu, ok := sc.locked[acc.owner]; ok {
+				protected[key{acc.field}] = acc.owner.Obj().Name() + "." + mu
+			}
+		}
+	}
+	if len(protected) == 0 {
+		return nil
+	}
+
+	// Pass two: bare accesses in scopes that never lock. An assignment
+	// records its LHS selector twice (as a write and as a read during the
+	// walk), so reports dedupe by position.
+	seen := make(map[token.Pos]bool)
+	for _, sc := range scopes {
+		if isConstructorName(sc.name) || strings.Contains(strings.ToLower(sc.name), "locked") {
+			continue
+		}
+		for _, acc := range sc.accesses {
+			if seen[acc.sel.Pos()] {
+				continue
+			}
+			mu, isProtected := protected[key{acc.field}]
+			if !isProtected {
+				continue
+			}
+			if _, holds := sc.locked[acc.owner]; holds {
+				continue
+			}
+			if base := analysis.RootObj(acc.sel.X, pass.TypesInfo); base != nil && sc.fresh[base] {
+				continue // receiver built in this body; not shared yet
+			}
+			seen[acc.sel.Pos()] = true
+			pass.Reportf(acc.sel.Pos(),
+				"field %s.%s is written under %s elsewhere in this package; access it holding the lock",
+				acc.owner.Obj().Name(), acc.field.Name(), mu)
+		}
+	}
+	return nil
+}
+
+// mutexedStructs finds named struct types declared in this package that
+// have a sync.Mutex or sync.RWMutex field, mapping each to the mutex
+// field's name ("Mutex"/"RWMutex" when embedded).
+func mutexedStructs(pass *analysis.Pass) map[*types.Named]string {
+	out := make(map[*types.Named]string)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isMutexType(f.Type()) {
+				out[named] = f.Name()
+				break
+			}
+		}
+	}
+	return out
+}
+
+func isMutexType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+func isAtomicType(t types.Type) bool {
+	n := namedOrPointee(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// summarizeLockScope walks one function body (closures excluded — they
+// are their own scopes) collecting lock acquisitions, field accesses on
+// mutexed structs, and locally-constructed receivers.
+func summarizeLockScope(pass *analysis.Pass, name string, body *ast.BlockStmt, mutexed map[*types.Named]string) *lockScope {
+	sc := &lockScope{
+		name:   name,
+		locked: make(map[*types.Named]string),
+		fresh:  make(map[types.Object]bool),
+	}
+	info := pass.TypesInfo
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if owner, mu := lockTarget(info, n, mutexed); owner != nil {
+				sc.locked[owner] = mu
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sc.recordAccess(info, lhs, true, mutexed)
+				if id, ok := lhs.(*ast.Ident); ok && i < len(n.Rhs) && isFreshValue(n.Rhs[i]) {
+					if obj := info.Defs[id]; obj != nil {
+						sc.fresh[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			sc.recordAccess(info, n.X, true, mutexed)
+		case *ast.SelectorExpr:
+			sc.recordAccess(info, n, false, mutexed)
+			return false // recordAccess handles the whole chain
+		}
+		return true
+	})
+	return sc
+}
+
+// lockTarget resolves a Lock/RLock call to the package-local struct type
+// whose mutex it acquires, handling both named fields (r.mu.Lock()) and
+// embedded mutexes (r.Lock()).
+func lockTarget(info *types.Info, call *ast.CallExpr, mutexed map[*types.Named]string) (*types.Named, string) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+	default:
+		return nil, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	recv := ast.Unparen(sel.X)
+	// r.mu.Lock(): the receiver expression is itself a field selection on
+	// the struct. r.Lock() on an embedded mutex selects the struct
+	// directly.
+	if inner, ok := recv.(*ast.SelectorExpr); ok {
+		if owner := ownedStruct(info, inner.X, mutexed); owner != nil {
+			return owner, inner.Sel.Name
+		}
+	}
+	if owner := ownedStruct(info, recv, mutexed); owner != nil {
+		return owner, mutexed[owner]
+	}
+	return nil, ""
+}
+
+// ownedStruct returns the mutexed package-local struct type of e, if any.
+func ownedStruct(info *types.Info, e ast.Expr, mutexed map[*types.Named]string) *types.Named {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	n := namedOrPointee(tv.Type)
+	if n == nil {
+		return nil
+	}
+	if _, ok := mutexed[n]; !ok {
+		return nil
+	}
+	return n
+}
+
+// recordAccess registers e if it is a field selection on a mutexed
+// struct. Mutex fields themselves and atomic fields are never
+// interesting: the former are the guards, the latter guard themselves.
+func (sc *lockScope) recordAccess(info *types.Info, e ast.Expr, write bool, mutexed map[*types.Named]string) {
+	// Unwrap index and dereference layers: `s.vals[k] = v` and `*s.p = v`
+	// both write through the field beneath.
+	e = ast.Unparen(e)
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(v.X)
+			continue
+		case *ast.StarExpr:
+			e = ast.Unparen(v.X)
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	owner := ownedStruct(info, sel.X, mutexed)
+	if owner == nil {
+		// The base may itself be a deeper selection worth recording
+		// (a.b.c reads b off a).
+		sc.recordAccess(info, sel.X, false, mutexed)
+		return
+	}
+	field, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !field.IsField() {
+		return
+	}
+	if isMutexType(field.Type()) || isAtomicType(field.Type()) {
+		return
+	}
+	sc.accesses = append(sc.accesses, fieldAccess{field: field, owner: owner, sel: sel, write: write})
+}
+
+// isFreshValue reports whether rhs constructs a new value: a composite
+// literal, &composite, or new(T).
+func isFreshValue(rhs ast.Expr) bool {
+	switch v := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := v.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(v.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}

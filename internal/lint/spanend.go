@@ -15,11 +15,11 @@ import (
 //
 // Accepted endings, in order of preference: a `defer sp.End()` (directly
 // or inside a deferred closure), or manual sp.End() calls that cover every
-// return and fall-through exit reachable while the span is live. The path
-// check is block-structural, not a full CFG: an End call covers a later
-// exit when its enclosing block is an ancestor of (or the same as) the
-// exit's block. Branch-balanced manual endings that the approximation
-// cannot see (an if/else where both arms End) need a //lint:allow marker.
+// exit path. Path coverage runs on the basic-block CFG
+// (analysis.BuildCFG + UncoveredExit), so branch-balanced manual endings
+// — an if/else where both arms End — are recognized, and paths that
+// leave by panicking are exempt (deferred cleanup and process death both
+// make the span moot).
 var SpanEnd = &analysis.Analyzer{
 	Name: "spanend",
 	Doc: "require obs spans started in a function to be ended on every path " +
@@ -27,49 +27,37 @@ var SpanEnd = &analysis.Analyzer{
 	Run: runSpanEnd,
 }
 
-// pathPoint is a position in a function with its enclosing-block chain
-// (outermost first): an End call, a return, or a block fall-through exit.
-type pathPoint struct {
-	pos   token.Pos
-	chain []ast.Node
-}
-
 // spanVar tracks one span-typed local from its Child(...) start.
 type spanVar struct {
 	obj      types.Object
 	name     string
 	start    *ast.AssignStmt
-	chain    []ast.Node // block chain at the start statement
-	ends     []pathPoint
+	ends     int // manual End calls in this scope
 	deferred bool
 	escaped  bool
 }
 
 func runSpanEnd(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
-		funcBodies(f, func(_ string, ftype *ast.FuncType, body *ast.BlockStmt) {
-			checkSpanScope(pass, ftype, body)
+		funcBodies(f, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+			checkSpanScope(pass, body)
 		})
 	}
 	return nil
 }
 
-func checkSpanScope(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+func checkSpanScope(pass *analysis.Pass, body *ast.BlockStmt) {
 	spans := map[types.Object]*spanVar{}
-	var returns []pathPoint
 
-	// Pass 1 (own scope only): span starts and return statements.
+	// Pass 1 (own scope only): span starts.
 	walkParents(body, func(n ast.Node, parents []ast.Node) {
 		if insideFuncLit(parents) {
 			return
 		}
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if sv := spanStart(pass.TypesInfo, n, blockChain(parents)); sv != nil {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if sv := spanStart(pass.TypesInfo, as); sv != nil {
 				spans[sv.obj] = sv
 			}
-		case *ast.ReturnStmt:
-			returns = append(returns, pathPoint{pos: n.Pos(), chain: blockChain(parents)})
 		}
 	})
 	if len(spans) == 0 {
@@ -89,15 +77,54 @@ func checkSpanScope(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStm
 		classifySpanUse(sv, id, parents)
 	})
 
+	var cfg *analysis.CFG
 	for _, sv := range spans {
-		verdictSpan(pass, ftype, body, sv, returns)
+		if sv.escaped || sv.deferred {
+			continue
+		}
+		if sv.ends == 0 {
+			pass.Report(analysis.Diagnostic{
+				Pos:            sv.start.Pos(),
+				Message:        "obs span " + sv.name + " is never ended; add defer " + sv.name + ".End() after starting it",
+				SuggestedFixes: []analysis.SuggestedFix{deferEndFix(pass, sv)},
+			})
+			continue
+		}
+		if cfg == nil {
+			cfg = analysis.BuildCFG(body)
+		}
+		isEnd := func(n ast.Node) bool { return isEndStmt(pass.TypesInfo, n, sv.obj) }
+		if exit, uncovered := cfg.UncoveredExit(sv.start, isEnd); uncovered {
+			pass.Reportf(exit,
+				"obs span %s (started at line %d) is not ended on this path; End it before the exit or defer %s.End()",
+				sv.name, pass.Fset.Position(sv.start.Pos()).Line, sv.name)
+		}
 	}
+}
+
+// isEndStmt reports whether a CFG node is `sp.End()` at statement level
+// for the given span object.
+func isEndStmt(info *types.Info, n ast.Node, obj types.Object) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && defOrUse(info, id) == obj
 }
 
 // spanStart recognizes `sp := parent.Child("name")` where the result is an
 // *obs.Span. Only := definitions are tracked; reassignment is treated as
 // an escape by the use classifier.
-func spanStart(info *types.Info, as *ast.AssignStmt, chain []ast.Node) *spanVar {
+func spanStart(info *types.Info, as *ast.AssignStmt) *spanVar {
 	if as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
 		return nil
 	}
@@ -117,7 +144,7 @@ func spanStart(info *types.Info, as *ast.AssignStmt, chain []ast.Node) *spanVar 
 	if obj == nil || !isNamedType(obj.Type(), obsPath, "Span") {
 		return nil
 	}
-	return &spanVar{obj: obj, name: id.Name, start: as, chain: chain}
+	return &spanVar{obj: obj, name: id.Name, start: as}
 }
 
 func isStartLHS(sv *spanVar, id *ast.Ident) bool {
@@ -151,87 +178,7 @@ func classifySpanUse(sv *spanVar, id *ast.Ident, parents []ast.Node) {
 			return
 		}
 	}
-	sv.ends = append(sv.ends, pathPoint{pos: call.Pos(), chain: blockChain(parents)})
-}
-
-// verdictSpan reports a span that can leak: never ended at all, or with an
-// exit path no End call covers.
-func verdictSpan(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt, sv *spanVar, returns []pathPoint) {
-	if sv.escaped || sv.deferred {
-		return
-	}
-	if len(sv.ends) == 0 {
-		pass.Report(analysis.Diagnostic{
-			Pos:            sv.start.Pos(),
-			Message:        "obs span " + sv.name + " is never ended; add defer " + sv.name + ".End() after starting it",
-			SuggestedFixes: []analysis.SuggestedFix{deferEndFix(pass, sv)},
-		})
-		return
-	}
-	exits := liveExits(ftype, body, sv, returns)
-	for _, exit := range exits {
-		if !covered(sv.ends, exit) {
-			pass.Reportf(exit.pos,
-				"obs span %s (started at line %d) is not ended on this path; End it before the exit or defer %s.End()",
-				sv.name, pass.Fset.Position(sv.start.Pos()).Line, sv.name)
-			return // one report per span keeps the signal clean
-		}
-	}
-}
-
-// liveExits collects the exits reachable while the span is live: returns
-// positioned after the start within the declaring block's subtree, plus
-// the declaring block's fall-through exit (or the function's implicit
-// return for a span declared at the top level of a void function).
-func liveExits(ftype *ast.FuncType, body *ast.BlockStmt, sv *spanVar, returns []pathPoint) []pathPoint {
-	var exits []pathPoint
-	for _, r := range returns {
-		if r.pos > sv.start.Pos() && chainIsPrefix(sv.chain, r.chain) {
-			exits = append(exits, r)
-		}
-	}
-	declBlock := body
-	if len(sv.chain) > 0 {
-		if b, ok := sv.chain[len(sv.chain)-1].(*ast.BlockStmt); ok {
-			declBlock = b
-		}
-	}
-	if declBlock != body {
-		exits = append(exits, pathPoint{pos: declBlock.End(), chain: sv.chain})
-	} else if ftype.Results == nil || len(ftype.Results.List) == 0 {
-		if n := len(body.List); n == 0 || !isTerminating(body.List[n-1]) {
-			exits = append(exits, pathPoint{pos: body.End(), chain: sv.chain})
-		}
-	}
-	return exits
-}
-
-// isTerminating reports (conservatively) whether the statement never falls
-// through: a return, or a panic call.
-func isTerminating(s ast.Stmt) bool {
-	switch s := s.(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-				return id.Name == "panic"
-			}
-		}
-	}
-	return false
-}
-
-// covered reports whether some End call dominates the exit in the
-// block-structural approximation: the End appears earlier and its block
-// encloses (or equals) the exit's block.
-func covered(ends []pathPoint, exit pathPoint) bool {
-	for _, e := range ends {
-		if e.pos < exit.pos && chainIsPrefix(e.chain, exit.chain) {
-			return true
-		}
-	}
-	return false
+	sv.ends++
 }
 
 // deferEndFix builds the mechanical rewrite: insert `defer sp.End()` on a
@@ -247,32 +194,6 @@ func deferEndFix(pass *analysis.Pass, sv *spanVar) analysis.SuggestedFix {
 			NewText: []byte("\n" + indent + "defer " + sv.name + ".End()"),
 		}},
 	}
-}
-
-// blockChain filters an ancestor stack down to the block-like nodes that
-// define the structural path: blocks, switch cases, and select comms.
-func blockChain(parents []ast.Node) []ast.Node {
-	var chain []ast.Node
-	for _, p := range parents {
-		switch p.(type) {
-		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
-			chain = append(chain, p)
-		}
-	}
-	return chain
-}
-
-// chainIsPrefix reports whether a is a prefix of b.
-func chainIsPrefix(a, b []ast.Node) bool {
-	if len(a) > len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // methodCallOf reports whether id is the receiver of a method call

@@ -1,0 +1,42 @@
+// Package closeleak holds fixtures for the resource-lifecycle analyzer:
+// a file-backed handle opened in a function must reach Close on every
+// exit path, or ownership must visibly move elsewhere.
+package closeleak
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"sam/internal/relation"
+)
+
+var errEmpty = errors.New("empty row")
+
+// writeAll closes on the happy path but leaks f when a row is empty.
+func writeAll(path string, rows []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r == "" {
+			return errEmpty // want `handle f \(opened at line \d+\) is not closed on this path; defer f\.Close\(\) after the error check`
+		}
+		fmt.Fprintln(f, r)
+	}
+	return f.Close()
+}
+
+// spillRun opens a shard file and forgets it entirely: the fd leaks and
+// the header row count is never patched.
+func spillRun(dir string, rows [][]int32) error {
+	w, err := relation.CreateShardFile(dir, 0, 3, 42)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		w.WriteRows(r)
+	}
+	return nil // want `handle w \(opened at line \d+\) is not closed on this path; defer w\.Close\(\) after the error check`
+}

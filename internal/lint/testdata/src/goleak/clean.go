@@ -1,0 +1,67 @@
+package goleak
+
+import "sync"
+
+// defer wg.Done() covers every exit.
+func worker(wg *sync.WaitGroup, in <-chan int, sink func(int)) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range in {
+			sink(v)
+		}
+	}()
+}
+
+// defer close(done) signals no matter how the body leaves.
+func notifier(done chan struct{}, work func() error) {
+	go func() {
+		defer close(done)
+		if err := work(); err != nil {
+			return
+		}
+		work()
+	}()
+}
+
+// A send on every path: the shard-writer shape — the error return is
+// preceded by a send, and so is the fallthrough exit.
+func writerGoroutine(rows <-chan []byte, writeErr chan<- error, write func([]byte) error) {
+	go func() {
+		for r := range rows {
+			if err := write(r); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+}
+
+// A deferred closure that closes the channel counts as a signal.
+func deferredClosure(done chan struct{}, cleanup func()) {
+	go func() {
+		defer func() {
+			cleanup()
+			close(done)
+		}()
+		cleanup()
+	}()
+}
+
+// An event loop that never exits has no exit paths to cover.
+func eventLoop(events <-chan int, handle func(int)) {
+	go func() {
+		for {
+			handle(<-events)
+		}
+	}()
+}
+
+func run() {}
+
+// Goroutines on named functions are skipped: the analysis is
+// intraprocedural and the body is not visible here.
+func launchNamed() {
+	go run()
+}

@@ -1,0 +1,31 @@
+// Package goleak holds fixtures for the goroutine-completion analyzer:
+// a goroutine launched on a function literal must signal completion
+// (WaitGroup.Done, close, or a channel send) on every exit path.
+package goleak
+
+import "sync"
+
+// The early error return skips the final send; the reader of out hangs.
+func fanInLeak(in <-chan int, out chan<- int, bad func(int) error) {
+	go func() { // want `goroutine can exit without signaling completion`
+		total := 0
+		for v := range in {
+			if err := bad(v); err != nil {
+				return
+			}
+			total += v
+		}
+		out <- total
+	}()
+}
+
+// Add without a matching Done: wg.Wait() never returns.
+func addWithoutDone(wg *sync.WaitGroup, work []int, sink func(int)) {
+	wg.Add(len(work))
+	for _, w := range work {
+		w := w
+		go func() { // want `goroutine can exit without signaling completion`
+			sink(w)
+		}()
+	}
+}

@@ -1,0 +1,48 @@
+package lockguard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// store locks consistently in writers and readers alike.
+type store struct {
+	mu   sync.RWMutex
+	vals map[string]int
+	hits atomic.Int64
+}
+
+func (s *store) Set(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[k] = v
+}
+
+func (s *store) Get(k string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hits.Add(1)
+	v, ok := s.vals[k]
+	return v, ok
+}
+
+// NewStore is a constructor: the value is not shared yet.
+func NewStore() *store {
+	s := &store{vals: map[string]int{}}
+	s.vals["seed"] = 0
+	return s
+}
+
+// A locally-constructed value is private to this frame.
+func snapshotLocal() int {
+	tmp := store{vals: map[string]int{}}
+	tmp.vals["x"] = 1
+	return tmp.vals["x"]
+}
+
+// The Locked naming convention means the caller holds the lock.
+func drainLocked(s *store) {
+	for k := range s.vals {
+		delete(s.vals, k)
+	}
+}

@@ -1,0 +1,46 @@
+// Package lockguard holds fixtures for the mutex-consistency analyzer:
+// fields written under a struct's mutex anywhere in the package must
+// never be touched bare elsewhere in it.
+package lockguard
+
+import "sync"
+
+// registry guards count and items with mu in Add; Peek and Reset touch
+// them without the lock.
+type registry struct {
+	mu    sync.Mutex
+	count int
+	items map[string]int
+}
+
+func (r *registry) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.items[name] = r.count
+}
+
+func (r *registry) Peek() int {
+	return r.count // want `field registry\.count is written under registry\.mu elsewhere in this package; access it holding the lock`
+}
+
+func (r *registry) Reset() {
+	r.count = 0                // want `field registry\.count is written under registry\.mu`
+	r.items = map[string]int{} // want `field registry\.items is written under registry\.mu`
+}
+
+// table embeds its mutex; bump locks through the promoted method.
+type table struct {
+	sync.Mutex
+	rows int
+}
+
+func (t *table) bump() {
+	t.Lock()
+	t.rows++
+	t.Unlock()
+}
+
+func (t *table) Rows() int {
+	return t.rows // want `field table\.rows is written under table\.Mutex`
+}

@@ -1,0 +1,30 @@
+package veccard
+
+import "sam/internal/obs"
+
+// Pre-resolved handle: the loop touches only the atomic counter.
+func recordRowsResolved(v *obs.CounterVec, rows [][]string) {
+	h := v.With("stream")
+	for range rows {
+		h.Inc()
+	}
+}
+
+// A bounded setup loop over constants resolves handles on purpose —
+// that is the registration-time pattern obs hooks use.
+func resolveAll(v *obs.GaugeVec) map[string]*obs.Gauge {
+	out := make(map[string]*obs.Gauge, 2)
+	for _, pass := range []string{"shard", "weight"} {
+		out[pass] = v.With(pass)
+	}
+	return out
+}
+
+// Constructors resolve eagerly by design.
+func newMeters(v *obs.HistogramVec, phases []string) []*obs.Histogram {
+	var hs []*obs.Histogram
+	for _, phase := range phases {
+		hs = append(hs, v.With(phase))
+	}
+	return hs
+}

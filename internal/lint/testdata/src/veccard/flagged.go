@@ -1,0 +1,29 @@
+// Package veccard holds fixtures for the labeled-metric cardinality
+// analyzer: With() handles are pre-resolved outside hot loops, and
+// label values come from bounded sets.
+package veccard
+
+import (
+	"fmt"
+	"strconv"
+
+	"sam/internal/obs"
+)
+
+// Resolving the handle inside the row loop pays the vector's lock and
+// map lookup every iteration.
+func recordRows(v *obs.CounterVec, rows [][]string) {
+	for range rows {
+		v.With("stream").Inc() // want `vector With\(\) inside a loop resolves the handle every iteration`
+	}
+}
+
+// Stringifying a runtime integer makes the label set unbounded.
+func recordShard(v *obs.CounterVec, shard int) {
+	v.With(strconv.Itoa(shard)).Inc() // want `label value computed with strconv\.Itoa is unbounded`
+}
+
+// Sprintf labels are the same mistake with more steps.
+func observeBatch(v *obs.HistogramVec, batch int, secs float64) {
+	v.With(fmt.Sprintf("batch-%d", batch)).Observe(secs) // want `label value computed with fmt\.Sprintf is unbounded`
+}

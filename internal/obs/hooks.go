@@ -353,6 +353,7 @@ func MetricsHooks(r *Registry) *Hooks {
 			h.br.Add(p.BytesRead)
 			h.runs.Add(int64(p.Runs))
 			if p.Pass == "shard" {
+				//lint:allow veccard shard ids are bounded by the run's configured shard count, well under the registry cap
 				shardRows.With(strconv.Itoa(p.Shard)).Add(p.RecordsOut)
 				bpWait.Observe(p.BackpressureWait.Seconds())
 			}
